@@ -1,0 +1,122 @@
+// Ablation study over the design choices DESIGN.md calls out:
+//   A1: AND vs OR amplification of the LSH tables,
+//   A2: Word2Vec vs hash label embedder,
+//   A3: Jaccard threshold theta of Algorithm 2 (paper fixes 0.9),
+//   A4: adaptive vs fixed LSH parameters,
+//   A5: the merging step itself (LSH clusters evaluated raw vs merged).
+// Run on a representative subset of the zoo at 20% noise / 50% labels — the
+// regime where the design choices matter most.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/pghive.h"
+#include "lsh/clustering.h"
+
+using namespace pghive;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  core::PgHiveOptions options;
+};
+
+double RunVariant(const datasets::Dataset& dataset,
+                  const core::PgHiveOptions& base, double noise,
+                  double labels, bool* edge_out, double* edge_f1) {
+  pg::PropertyGraph graph = dataset.graph;
+  datasets::NoiseConfig config;
+  config.property_removal = noise;
+  config.label_availability = labels;
+  config.seed = 0xAB1;
+  datasets::InjectNoise(&graph, config);
+  core::PgHive pipeline(&graph, base);
+  if (!pipeline.Run().ok()) return -1;
+  auto node =
+      eval::MajorityF1(pipeline.NodeAssignment(), dataset.truth.node_type);
+  auto edge =
+      eval::MajorityF1(pipeline.EdgeAssignment(), dataset.truth.edge_type);
+  *edge_out = true;
+  *edge_f1 = edge.f1;
+  return node.f1;
+}
+
+}  // namespace
+
+int main() {
+  double scale = eval::EnvScale();
+  bench::PrintHeader("Ablation of PG-HIVE design choices",
+                     "DESIGN.md design-choice index");
+  const char* names[] = {"POLE", "MB6", "ICIJ", "IYP"};
+  std::vector<datasets::Dataset> data;
+  for (const char* name : names) {
+    data.push_back(
+        datasets::Generate(datasets::ZooDataset(name).value(), scale, 0xA1));
+  }
+  const double noise = 0.2, labels = 0.5;
+  std::printf("regime: %d%% property noise, %d%% label availability\n\n",
+              20, 50);
+
+  std::vector<Variant> variants;
+  {
+    Variant v{"baseline (AND, w2v, theta=.9, adaptive)", {}};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"OR amplification", {}};
+    v.options.amplification = lsh::Amplification::kOr;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"hash embedder", {}};
+    v.options.embedder = core::EmbedderKind::kHash;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"theta = 0.5 (loose merge)", {}};
+    v.options.jaccard_threshold = 0.5;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"theta = 1.0 (exact merge)", {}};
+    v.options.jaccard_threshold = 1.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"fixed b=2.0, T=20", {}};
+    v.options.adaptive = false;
+    v.options.bucket_length = 2.0;
+    v.options.num_tables = 20;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"MinHash clustering", {}};
+    v.options.method = core::ClusterMethod::kMinHash;
+    variants.push_back(v);
+  }
+
+  util::TablePrinter table({"Variant", "POLE n/e", "MB6 n/e", "ICIJ n/e",
+                            "IYP n/e"});
+  for (const Variant& variant : variants) {
+    std::vector<std::string> row = {variant.name};
+    for (auto& dataset : data) {
+      bool has_edge = false;
+      double edge_f1 = 0;
+      double node_f1 = RunVariant(dataset, variant.options, noise, labels,
+                                  &has_edge, &edge_f1);
+      row.push_back(util::TablePrinter::Fmt(node_f1, 2) + "/" +
+                    util::TablePrinter::Fmt(edge_f1, 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  std::printf(
+      "\nReading: AND amplification + Word2Vec + theta=0.9 (the paper's "
+      "choices) should dominate or match every ablated variant; OR "
+      "amplification risks chain-merging, theta=0.5 over-merges distinct "
+      "types, theta=1.0 strands noisy unlabeled clusters as abstract types "
+      "(harmless for F1* but inflating the type count).\n");
+  return 0;
+}

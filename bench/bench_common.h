@@ -1,0 +1,45 @@
+#ifndef PGHIVE_BENCH_BENCH_COMMON_H_
+#define PGHIVE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <vector>
+
+#include "datasets/generator.h"
+#include "datasets/zoo.h"
+#include "eval/harness.h"
+#include "util/table_printer.h"
+
+namespace pghive::bench {
+
+/// Generates all eight zoo datasets at the environment scale. Seeds are
+/// fixed so every bench sees the same graphs.
+inline std::vector<datasets::Dataset> GenerateZoo(double scale) {
+  std::vector<datasets::Dataset> out;
+  uint64_t seed = 0xD5;
+  for (const datasets::DatasetSpec& spec : datasets::Zoo()) {
+    out.push_back(datasets::Generate(spec, scale, seed++));
+  }
+  return out;
+}
+
+/// The paper's noise grid (Fig. 4/5): property removal fractions.
+inline std::vector<double> NoiseGrid() { return {0.0, 0.1, 0.2, 0.3, 0.4}; }
+
+/// The paper's label-availability scenarios.
+inline std::vector<double> LabelGrid() { return {1.0, 0.5, 0.0}; }
+
+/// All four compared methods.
+inline std::vector<eval::Method> AllMethods() {
+  return {eval::Method::kPgHiveElsh, eval::Method::kPgHiveMinHash,
+          eval::Method::kGmmSchema, eval::Method::kSchemI};
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n(reproduces %s of PG-HIVE, EDBT 2026)\n", title, paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace pghive::bench
+
+#endif  // PGHIVE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,82 @@
+// Figure 3: statistical significance analysis. Collects the F1*-scores of
+// the 40 fully-labeled test cases (8 datasets x 5 noise levels), computes
+// average ranks per method and the Nemenyi critical difference, separately
+// for nodes (4 methods) and edges (3 methods; GMMSchema discovers no edge
+// types).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "eval/ranks.h"
+
+using namespace pghive;
+
+int main() {
+  double scale = eval::EnvScale();
+  bench::PrintHeader("Statistical significance of F1*-scores", "Figure 3");
+  auto zoo = bench::GenerateZoo(scale);
+
+  // scores[method][case].
+  std::vector<eval::Method> node_methods = bench::AllMethods();
+  std::vector<eval::Method> edge_methods = {eval::Method::kPgHiveElsh,
+                                            eval::Method::kPgHiveMinHash,
+                                            eval::Method::kSchemI};
+  std::vector<std::vector<double>> node_scores(node_methods.size());
+  std::vector<std::vector<double>> edge_scores(edge_methods.size());
+
+  for (datasets::Dataset& d : zoo) {
+    for (double noise : bench::NoiseGrid()) {
+      for (size_t m = 0; m < node_methods.size(); ++m) {
+        eval::RunConfig config;
+        config.method = node_methods[m];
+        config.noise = noise;
+        config.label_availability = 1.0;
+        config.seed = 0xF316 + static_cast<uint64_t>(noise * 100);
+        eval::RunResult r = eval::RunMethod(d, config);
+        node_scores[m].push_back(r.ok ? r.node_f1.f1 : -1.0);
+        for (size_t e = 0; e < edge_methods.size(); ++e) {
+          if (edge_methods[e] != node_methods[m]) continue;
+          edge_scores[e].push_back(
+              r.ok && r.has_edge_result ? r.edge_f1.f1 : -1.0);
+        }
+      }
+    }
+  }
+
+  auto report = [](const char* side,
+                   const std::vector<eval::Method>& methods,
+                   const std::vector<std::vector<double>>& scores) {
+    auto ranks = eval::AverageRanks(scores);
+    size_t n = scores[0].size();
+    double cd = eval::NemenyiCriticalDifference(methods.size(), n);
+    std::printf("\n--- %s: average ranks over %zu cases (CD@0.05 = %.3f) ---\n",
+                side, n, cd);
+    util::TablePrinter table({"Method", "Avg rank", "Mean F1*"});
+    for (size_t m = 0; m < methods.size(); ++m) {
+      double mean = 0;
+      for (double s : scores[m]) mean += s;
+      mean /= static_cast<double>(n);
+      table.AddRow({eval::MethodName(methods[m]),
+                    util::TablePrinter::Fmt(ranks[m], 2),
+                    util::TablePrinter::Fmt(mean)});
+    }
+    table.Print();
+    // Pairwise significance vs the best-ranked method.
+    size_t best = 0;
+    for (size_t m = 1; m < methods.size(); ++m) {
+      if (ranks[m] < ranks[best]) best = m;
+    }
+    for (size_t m = 0; m < methods.size(); ++m) {
+      if (m == best) continue;
+      std::printf("  %s vs %s: rank delta %.2f -> %s\n",
+                  eval::MethodName(methods[best]), eval::MethodName(methods[m]),
+                  ranks[m] - ranks[best],
+                  ranks[m] - ranks[best] > cd ? "SIGNIFICANT"
+                                              : "not significant");
+    }
+  };
+
+  report("nodes", node_methods, node_scores);
+  report("edges", edge_methods, edge_scores);
+  return 0;
+}

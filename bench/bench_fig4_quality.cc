@@ -1,0 +1,52 @@
+// Figure 4: F1*-scores across all noise levels (0-40%) and label
+// availability scenarios (100/50/0%), for nodes and edges, all methods, all
+// eight datasets. GMMSchema and SchemI only produce results at 100% labels
+// (they require fully labeled data), exactly as in the paper.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace pghive;
+
+int main() {
+  double scale = eval::EnvScale();
+  bench::PrintHeader("Schema quality vs noise and label availability",
+                     "Figure 4");
+  auto zoo = bench::GenerateZoo(scale);
+
+  for (double labels : bench::LabelGrid()) {
+    std::printf("\n### %.0f%% label information\n\n",
+                labels * 100);
+    for (const char* side : {"nodes", "edges"}) {
+      bool edges = side[0] == 'e';
+      util::TablePrinter table({"Dataset", "Method", "0%", "10%", "20%",
+                                "30%", "40%"});
+      for (datasets::Dataset& d : zoo) {
+        for (eval::Method m : bench::AllMethods()) {
+          if (edges && m == eval::Method::kGmmSchema) continue;
+          std::vector<std::string> row = {d.spec.name, eval::MethodName(m)};
+          for (double noise : bench::NoiseGrid()) {
+            eval::RunConfig config;
+            config.method = m;
+            config.noise = noise;
+            config.label_availability = labels;
+            config.seed = 0xF1617 + static_cast<uint64_t>(noise * 100);
+            eval::RunResult r = eval::RunMethod(d, config);
+            if (!r.ok || (edges && !r.has_edge_result)) {
+              row.push_back("n/a");
+            } else {
+              row.push_back(util::TablePrinter::Fmt(
+                  edges ? r.edge_f1.f1 : r.node_f1.f1));
+            }
+          }
+          table.AddRow(std::move(row));
+        }
+      }
+      std::printf("--- F1* (%s) ---\n", side);
+      table.Print();
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 6: F1* heatmaps sweeping the ELSH parameters (T, alpha-scale) per
+// dataset at 100% labels / 0% noise, for nodes and edges, with the adaptive
+// choice marked. Expected shape: smaller buckets over-separate (harmless
+// under F1*), larger buckets and few tables merge distinct patterns and
+// lower F1*; the adaptive point lands near the best cell.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace pghive;
+
+int main() {
+  double scale = eval::EnvScale();
+  bench::PrintHeader("ELSH parameter sweep (T x bucket scale) vs adaptive",
+                     "Figure 6");
+  auto zoo = bench::GenerateZoo(scale);
+
+  const size_t t_grid[] = {5, 10, 20, 30, 40};
+  const double b_scale[] = {0.5, 1.0, 2.0, 3.0};  // x adaptive bucket length.
+
+  for (datasets::Dataset& d : zoo) {
+    // First, the adaptive run (also yields the adaptive b for scaling).
+    eval::RunConfig adaptive_config;
+    adaptive_config.method = eval::Method::kPgHiveElsh;
+    adaptive_config.seed = 0xF618;
+    eval::RunResult adaptive = eval::RunMethod(d, adaptive_config);
+
+    // Recover the adaptive bucket length from a pipeline probe.
+    pg::PropertyGraph probe = d.graph;
+    core::PgHiveOptions popt;
+    core::PgHive pipeline(&probe, popt);
+    (void)pipeline.ProcessBatch(pg::FullBatch(probe));
+    double b_node = pipeline.last_stats().node_params.bucket_length;
+    size_t t_node = pipeline.last_stats().node_params.num_tables;
+
+    std::printf("\n--- %s (adaptive: b=%.2f, T=%zu, node F1*=%.3f, "
+                "edge F1*=%.3f) ---\n",
+                d.spec.name.c_str(), b_node, t_node,
+                adaptive.ok ? adaptive.node_f1.f1 : -1,
+                adaptive.ok ? adaptive.edge_f1.f1 : -1);
+    util::TablePrinter table({"b x", "T=5", "T=10", "T=20", "T=30", "T=40"});
+    for (double bs : b_scale) {
+      std::vector<std::string> row = {util::TablePrinter::Fmt(bs, 1)};
+      for (size_t t : t_grid) {
+        eval::RunConfig config;
+        config.method = eval::Method::kPgHiveElsh;
+        config.adaptive = false;
+        config.bucket_length = b_node * bs;
+        config.num_tables = t;
+        config.seed = 0xF618;
+        eval::RunResult r = eval::RunMethod(d, config);
+        row.push_back(r.ok ? util::TablePrinter::Fmt(r.node_f1.f1) : "n/a");
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+  return 0;
+}

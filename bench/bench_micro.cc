@@ -1,0 +1,112 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// primitives: ELSH hashing, MinHash signatures, the vectorizer, Word2Vec
+// training, GMM EM steps, and the type-extraction merge.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/gmm.h"
+#include "core/pghive.h"
+#include "core/type_extraction.h"
+#include "datasets/generator.h"
+#include "datasets/zoo.h"
+#include "embed/word2vec.h"
+#include "lsh/euclidean_lsh.h"
+#include "lsh/minhash.h"
+#include "util/rng.h"
+
+using namespace pghive;
+
+namespace {
+
+std::vector<float> RandomMatrix(size_t num, size_t dim, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> data(num * dim);
+  for (auto& x : data) x = static_cast<float>(rng.NextGaussian());
+  return data;
+}
+
+void BM_ElshHash(benchmark::State& state) {
+  const size_t num = 4096, dim = static_cast<size_t>(state.range(0));
+  auto data = RandomMatrix(num, dim, 1);
+  lsh::EuclideanLshParams params;
+  params.num_tables = 20;
+  lsh::EuclideanLsh hasher(dim, params);
+  for (auto _ : state) {
+    auto sigs = hasher.HashAll(data, num);
+    benchmark::DoNotOptimize(sigs);
+  }
+  state.SetItemsProcessed(state.iterations() * num);
+}
+BENCHMARK(BM_ElshHash)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_ElshCluster(benchmark::State& state) {
+  const size_t num = static_cast<size_t>(state.range(0)), dim = 64;
+  auto data = RandomMatrix(num, dim, 2);
+  lsh::EuclideanLshParams params;
+  params.num_tables = 20;
+  lsh::EuclideanLsh hasher(dim, params);
+  for (auto _ : state) {
+    auto clusters = hasher.Cluster(data, num);
+    benchmark::DoNotOptimize(clusters);
+  }
+  state.SetItemsProcessed(state.iterations() * num);
+}
+BENCHMARK(BM_ElshCluster)->Arg(1024)->Arg(8192);
+
+void BM_MinHashSignature(benchmark::State& state) {
+  util::Rng rng(3);
+  std::vector<std::vector<uint64_t>> sets(2048);
+  for (auto& set : sets) {
+    size_t n = 4 + rng.NextBounded(12);
+    for (size_t i = 0; i < n; ++i) set.push_back(rng.NextBounded(500));
+  }
+  lsh::MinHashParams params;
+  params.num_hashes = static_cast<size_t>(state.range(0));
+  lsh::MinHashLsh hasher(params);
+  for (auto _ : state) {
+    auto sigs = hasher.SignatureAll(sets);
+    benchmark::DoNotOptimize(sigs);
+  }
+  state.SetItemsProcessed(state.iterations() * sets.size());
+}
+BENCHMARK(BM_MinHashSignature)->Arg(16)->Arg(32);
+
+void BM_Word2VecTrain(benchmark::State& state) {
+  auto dataset = datasets::Generate(datasets::LdbcSpec(), 0.25, 4);
+  for (auto _ : state) {
+    embed::LabelCorpus corpus = embed::BuildLabelCorpus(dataset.graph);
+    embed::Word2VecOptions options;
+    embed::Word2Vec model(&dataset.graph.vocab(), options);
+    model.Train(corpus);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_Word2VecTrain);
+
+void BM_GmmEm(benchmark::State& state) {
+  const size_t num = 1024, dim = 32, k = 8;
+  auto data = RandomMatrix(num, dim, 5);
+  baselines::GmmOptions options;
+  options.max_iterations = 10;
+  baselines::GaussianMixture gmm(options);
+  for (auto _ : state) {
+    auto fit = gmm.Fit(data, num, dim, k);
+    benchmark::DoNotOptimize(fit);
+  }
+}
+BENCHMARK(BM_GmmEm);
+
+void BM_FullPipeline(benchmark::State& state) {
+  auto dataset = datasets::Generate(datasets::PoleSpec(), 0.5, 6);
+  for (auto _ : state) {
+    pg::PropertyGraph graph = dataset.graph;
+    core::PgHiveOptions options;
+    core::PgHive pipeline(&graph, options);
+    benchmark::DoNotOptimize(pipeline.Run());
+  }
+}
+BENCHMARK(BM_FullPipeline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

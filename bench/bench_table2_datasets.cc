@@ -1,0 +1,37 @@
+// Table 2: dataset statistics. Prints, for every zoo dataset, the generated
+// (scaled) statistics next to the nominal sizes the paper reports, plus the
+// schema-shape columns (types / labels / patterns) that the synthetic specs
+// are designed to reproduce.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace pghive;
+
+int main() {
+  double scale = eval::EnvScale();
+  bench::PrintHeader("Dataset statistics", "Table 2");
+  std::printf("scale factor: %.2f (set PGHIVE_SCALE to change)\n\n", scale);
+
+  util::TablePrinter table({"Dataset", "Nodes", "Edges", "NodeTypes",
+                            "EdgeTypes", "NodeLabels", "EdgeLabels",
+                            "NodePat", "EdgePat", "R/S", "Paper nodes",
+                            "Paper edges"});
+  for (datasets::Dataset& d : bench::GenerateZoo(scale)) {
+    pg::PropertyGraph::Stats stats = d.graph.ComputeStats();
+    table.AddRow({d.spec.name, std::to_string(stats.num_nodes),
+                  std::to_string(stats.num_edges),
+                  std::to_string(d.spec.num_node_types()),
+                  std::to_string(d.spec.num_edge_types()),
+                  std::to_string(stats.num_node_labels),
+                  std::to_string(stats.num_edge_labels),
+                  std::to_string(stats.num_node_patterns),
+                  std::to_string(stats.num_edge_patterns),
+                  d.spec.real ? "R" : "S",
+                  std::to_string(d.spec.paper_nodes),
+                  std::to_string(d.spec.paper_edges)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Heterogeneous-integration scenario (ICIJ-like): schema discovery under
+// 30% property noise and 50% label availability, where the published
+// baselines cannot run at all. Compares PG-HIVE (ELSH & MinHash) against
+// GMMSchema and SchemI on the clean and degraded variants.
+//
+//   $ ./noisy_integration
+
+#include <cstdio>
+
+#include "datasets/generator.h"
+#include "datasets/zoo.h"
+#include "eval/harness.h"
+#include "util/table_printer.h"
+
+using namespace pghive;
+
+int main() {
+  datasets::Dataset dataset =
+      datasets::Generate(datasets::IcijSpec(), /*scale=*/0.5, /*seed=*/3);
+  std::printf("ICIJ-like graph: %zu nodes, %zu edges\n\n",
+              dataset.graph.num_nodes(), dataset.graph.num_edges());
+
+  util::TablePrinter table(
+      {"method", "noise", "labels", "node F1*", "edge F1*", "time(ms)"});
+  const eval::Method methods[] = {
+      eval::Method::kPgHiveElsh, eval::Method::kPgHiveMinHash,
+      eval::Method::kGmmSchema, eval::Method::kSchemI};
+  struct Cell {
+    double noise, labels;
+  };
+  const Cell cells[] = {{0.0, 1.0}, {0.3, 1.0}, {0.3, 0.5}};
+
+  for (const Cell& cell : cells) {
+    for (eval::Method m : methods) {
+      eval::RunConfig config;
+      config.method = m;
+      config.noise = cell.noise;
+      config.label_availability = cell.labels;
+      config.seed = 99;
+      eval::RunResult r = eval::RunMethod(dataset, config);
+      table.AddRow({eval::MethodName(m),
+                    util::TablePrinter::Fmt(cell.noise * 100, 0) + "%",
+                    util::TablePrinter::Fmt(cell.labels * 100, 0) + "%",
+                    r.ok ? util::TablePrinter::Fmt(r.node_f1.f1) : "n/a",
+                    r.ok && r.has_edge_result
+                        ? util::TablePrinter::Fmt(r.edge_f1.f1)
+                        : "n/a",
+                    r.ok ? util::TablePrinter::Fmt(r.discovery_ms, 1) : "-"});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nNote: GMMSchema and SchemI require fully labeled data; they report "
+      "n/a at 50%% label availability, while PG-HIVE still discovers the "
+      "schema (the paper's headline capability).\n");
+  return 0;
+}

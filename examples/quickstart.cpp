@@ -1,0 +1,77 @@
+// Quickstart: build the paper's running example graph (Fig. 1) by hand, run
+// PG-HIVE schema discovery, and print the discovered schema.
+//
+//   $ ./quickstart
+//
+// Demonstrates: graph construction, the one-call DiscoverSchema API, and the
+// schema inspection helpers.
+
+#include <cstdio>
+
+#include "core/pghive.h"
+#include "core/serialize.h"
+#include "pg/graph.h"
+
+using pghive::core::DiscoverSchema;
+using pghive::core::PgHiveOptions;
+using pghive::pg::PropertyGraph;
+using pghive::pg::Value;
+
+int main() {
+  PropertyGraph graph;
+
+  // People (Alice arrives unlabeled, as in Fig. 1).
+  auto bob = graph.AddNode({"Person"});
+  graph.SetNodeProperty(bob, "name", Value("Bob"));
+  graph.SetNodeProperty(bob, "gender", Value("male"));
+  graph.SetNodeProperty(bob, "bday", Value("1980-05-02"));
+
+  auto alice = graph.AddNode({});  // Unlabeled!
+  graph.SetNodeProperty(alice, "name", Value("Alice"));
+  graph.SetNodeProperty(alice, "gender", Value("female"));
+  graph.SetNodeProperty(alice, "bday", Value("1999-12-19"));
+
+  auto john = graph.AddNode({"Person"});
+  graph.SetNodeProperty(john, "name", Value("John"));
+  graph.SetNodeProperty(john, "gender", Value("male"));
+  graph.SetNodeProperty(john, "bday", Value("2005-09-24"));
+
+  // Posts with two structural variants (same label, different patterns).
+  auto post1 = graph.AddNode({"Post"});
+  graph.SetNodeProperty(post1, "imgFile", Value("screenshot.png"));
+  auto post2 = graph.AddNode({"Post"});
+  graph.SetNodeProperty(post2, "content", Value("bazinga!"));
+
+  auto org = graph.AddNode({"Org"});
+  graph.SetNodeProperty(org, "url", Value("example.com"));
+  graph.SetNodeProperty(org, "name", Value("Example"));
+
+  auto place = graph.AddNode({"Place"});
+  graph.SetNodeProperty(place, "name", Value("Greece"));
+
+  auto knows1 = graph.AddEdge(alice, john, {"KNOWS"});
+  graph.SetEdgeProperty(knows1, "since", Value("2025-01-01"));
+  graph.AddEdge(bob, alice, {"KNOWS"});
+  graph.AddEdge(alice, post1, {"LIKES"});
+  graph.AddEdge(john, post2, {"LIKES"});
+  auto works = graph.AddEdge(bob, org, {"WORKS_AT"});
+  graph.SetEdgeProperty(works, "from", Value(static_cast<int64_t>(2000)));
+  graph.AddEdge(org, place, {"LOCATED_IN"});
+
+  // Discover the schema with default (adaptive ELSH) options.
+  PgHiveOptions options;
+  auto schema = DiscoverSchema(&graph, options);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "discovery failed: %s\n",
+                 schema.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s\n",
+              DescribeSchema(schema.value(), graph.vocab()).c_str());
+  std::printf("--- PG-Schema (STRICT) ---\n%s\n",
+              SerializePgSchema(schema.value(), graph.vocab(),
+                                pghive::core::SchemaMode::kStrict)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Schema serialization: discover the schema of a POLE-like crime graph and
+// export it as PG-Schema (both LOOSE and STRICT modes) and XSD (§4.5).
+//
+//   $ ./schema_export [output_prefix]
+//
+// Writes <prefix>.loose.pgs, <prefix>.strict.pgs and <prefix>.xsd
+// (default prefix "pole_schema").
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/pghive.h"
+#include "core/serialize.h"
+#include "datasets/generator.h"
+#include "datasets/zoo.h"
+
+using namespace pghive;
+
+int main(int argc, char** argv) {
+  std::string prefix = argc > 1 ? argv[1] : "pole_schema";
+
+  datasets::Dataset dataset =
+      datasets::Generate(datasets::PoleSpec(), /*scale=*/0.5, /*seed=*/21);
+
+  core::PgHiveOptions options;
+  auto schema = core::DiscoverSchema(&dataset.graph, options);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "discovery failed: %s\n",
+                 schema.status().ToString().c_str());
+    return 1;
+  }
+
+  const pg::Vocabulary& vocab = dataset.graph.vocab();
+  struct Out {
+    std::string path;
+    std::string content;
+  };
+  const Out outputs[] = {
+      {prefix + ".loose.pgs",
+       core::SerializePgSchema(schema.value(), vocab,
+                               core::SchemaMode::kLoose)},
+      {prefix + ".strict.pgs",
+       core::SerializePgSchema(schema.value(), vocab,
+                               core::SchemaMode::kStrict)},
+      {prefix + ".xsd", core::SerializeXsd(schema.value(), vocab)},
+  };
+  for (const Out& out : outputs) {
+    std::ofstream f(out.path);
+    f << out.content;
+    std::printf("wrote %s (%zu bytes)\n", out.path.c_str(),
+                out.content.size());
+  }
+
+  std::printf("\n--- STRICT preview ---\n%.2000s\n", outputs[1].content.c_str());
+  return 0;
+}

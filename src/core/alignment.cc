@@ -1,0 +1,88 @@
+#include "core/alignment.h"
+
+#include <algorithm>
+
+#include "core/type_extraction.h"
+#include "util/union_find.h"
+
+namespace pghive::core {
+
+std::vector<AlignmentSuggestion> SuggestAlignments(
+    const SchemaGraph& schema, const pg::Vocabulary& vocab,
+    const embed::LabelEmbedder& embedder, const AlignmentOptions& options) {
+  std::vector<AlignmentSuggestion> suggestions;
+  const auto& types = schema.node_types();
+
+  // Pre-compute tokens and embeddings per type.
+  std::vector<std::vector<float>> embeddings(types.size());
+  std::vector<bool> eligible(types.size(), false);
+  for (size_t t = 0; t < types.size(); ++t) {
+    if (options.labeled_only && types[t].is_abstract()) continue;
+    pg::LabelSetToken token =
+        const_cast<pg::Vocabulary&>(vocab).TokenForLabelSet(types[t].labels);
+    if (token == pg::kNoToken) continue;
+    embeddings[t] = embedder.EmbedVec(token);
+    eligible[t] = true;
+  }
+
+  for (size_t a = 0; a < types.size(); ++a) {
+    if (!eligible[a]) continue;
+    for (size_t b = a + 1; b < types.size(); ++b) {
+      if (!eligible[b]) continue;
+      // Identical label sets are already merged by Algorithm 2.
+      if (types[a].labels == types[b].labels) continue;
+      double label_sim = embed::CosineSimilarity(embeddings[a], embeddings[b]);
+      if (label_sim < options.min_label_similarity) continue;
+      double structure_sim = JaccardSorted(types[a].Keys(), types[b].Keys());
+      if (structure_sim < options.min_structure_similarity) continue;
+      suggestions.push_back({static_cast<uint32_t>(a),
+                             static_cast<uint32_t>(b), label_sim,
+                             structure_sim});
+    }
+  }
+  return suggestions;
+}
+
+size_t ApplyAlignments(const std::vector<AlignmentSuggestion>& suggestions,
+                       SchemaGraph* schema) {
+  auto& types = schema->node_types();
+  if (types.empty() || suggestions.empty()) return 0;
+
+  util::UnionFind uf(types.size());
+  size_t merges = 0;
+  for (const AlignmentSuggestion& s : suggestions) {
+    if (s.type_a >= types.size() || s.type_b >= types.size()) continue;
+    merges += uf.Union(s.type_a, s.type_b);
+  }
+  if (merges == 0) return 0;
+
+  // Rebuild the type list: group members merge with union semantics
+  // (Lemma 1 — nothing is lost).
+  std::vector<NodeType> merged;
+  std::vector<int> root_to_new(types.size(), -1);
+  for (uint32_t t = 0; t < types.size(); ++t) {
+    uint32_t root = uf.Find(t);
+    if (root_to_new[root] < 0) {
+      root_to_new[root] = static_cast<int>(merged.size());
+      merged.push_back(std::move(types[t]));
+      continue;
+    }
+    NodeType& into = merged[root_to_new[root]];
+    NodeType& from = types[t];
+    into.labels = UnionSorted(into.labels, from.labels);
+    for (const auto& [key, info] : from.properties) {
+      PropertyInfo& dst = into.properties[key];
+      dst.count += info.count;
+      dst.data_type = pg::JoinDataTypes(dst.data_type, info.data_type);
+    }
+    into.instances.insert(into.instances.end(), from.instances.begin(),
+                          from.instances.end());
+    into.instance_count += from.instance_count;
+    into.pattern_hashes.insert(from.pattern_hashes.begin(),
+                               from.pattern_hashes.end());
+  }
+  types = std::move(merged);
+  return merges;
+}
+
+}  // namespace pghive::core

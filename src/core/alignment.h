@@ -1,0 +1,51 @@
+#ifndef PGHIVE_CORE_ALIGNMENT_H_
+#define PGHIVE_CORE_ALIGNMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "embed/embedder.h"
+
+namespace pghive::core {
+
+/// Options for semantic type alignment.
+struct AlignmentOptions {
+  /// Minimum embedding cosine similarity between two types' label tokens.
+  double min_label_similarity = 0.6;
+  /// Minimum property-set Jaccard between two types.
+  double min_structure_similarity = 0.6;
+  /// Never align a labeled type with an abstract one (abstract types are
+  /// handled by Algorithm 2's Jaccard path instead).
+  bool labeled_only = true;
+};
+
+/// One proposed alignment.
+struct AlignmentSuggestion {
+  uint32_t type_a = 0;  ///< Node-type indices in the schema.
+  uint32_t type_b = 0;
+  double label_similarity = 0.0;
+  double structure_similarity = 0.0;
+};
+
+/// Semantic type alignment — the integration scenario of the paper's future
+/// work (§6 (c)): different sources may use distinct labels for the same
+/// conceptual entity (Organization vs Company). The paper proposes LLMs; we
+/// implement the embedding-based variant available inside the system: two
+/// labeled node types are aligned when their label embeddings (trained on
+/// the graph's co-occurrence structure) are close AND their property sets
+/// overlap strongly. Matches are returned as suggestions; ApplyAlignments
+/// merges them with the same union semantics as Algorithm 2 (monotone).
+std::vector<AlignmentSuggestion> SuggestAlignments(
+    const SchemaGraph& schema, const pg::Vocabulary& vocab,
+    const embed::LabelEmbedder& embedder, const AlignmentOptions& options);
+
+/// Merges each suggested pair (transitively, via union-find) into combined
+/// types. Returns the number of merges applied.
+size_t ApplyAlignments(const std::vector<AlignmentSuggestion>& suggestions,
+                       SchemaGraph* schema);
+
+}  // namespace pghive::core
+
+#endif  // PGHIVE_CORE_ALIGNMENT_H_

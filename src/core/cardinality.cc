@@ -1,0 +1,36 @@
+#include "core/cardinality.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pghive::core {
+
+Cardinality CardinalityForEdges(const pg::PropertyGraph& graph,
+                                const std::vector<uint64_t>& edge_ids) {
+  std::unordered_map<pg::NodeId, std::unordered_set<pg::NodeId>> out_targets;
+  std::unordered_map<pg::NodeId, std::unordered_set<pg::NodeId>> in_sources;
+  for (uint64_t id : edge_ids) {
+    const pg::Edge& e = graph.edge(id);
+    out_targets[e.src].insert(e.dst);
+    in_sources[e.dst].insert(e.src);
+  }
+  Cardinality c;
+  for (const auto& [src, targets] : out_targets) {
+    c.max_out = std::max(c.max_out, targets.size());
+  }
+  for (const auto& [dst, sources] : in_sources) {
+    c.max_in = std::max(c.max_in, sources.size());
+  }
+  c.kind = ClassifyCardinality(c.max_out, c.max_in);
+  return c;
+}
+
+void ComputeCardinalities(const pg::PropertyGraph& graph,
+                          SchemaGraph* schema) {
+  for (auto& t : schema->edge_types()) {
+    t.cardinality = CardinalityForEdges(graph, t.instances);
+  }
+}
+
+}  // namespace pghive::core

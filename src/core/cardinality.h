@@ -1,0 +1,26 @@
+#ifndef PGHIVE_CORE_CARDINALITY_H_
+#define PGHIVE_CORE_CARDINALITY_H_
+
+#include "core/schema.h"
+#include "pg/graph.h"
+
+namespace pghive::core {
+
+/// Computes the cardinality constraint of every edge type (§4.4):
+///   max_out(rho) = max over sources of the number of distinct targets
+///                  reached through edges of this type, and
+///   max_in(rho)  = max over targets of distinct sources.
+/// The pair classifies as 1:1 / N:1 / 1:N / M:N. These are sound *upper
+/// bounds*: the data never exhibits a higher multiplicity than recorded
+/// (lower bounds would require scanning unconnected nodes; future work in
+/// the paper).
+void ComputeCardinalities(const pg::PropertyGraph& graph, SchemaGraph* schema);
+
+/// Computes the cardinality for an explicit edge-instance list (helper for
+/// tests and incremental recomputation).
+Cardinality CardinalityForEdges(const pg::PropertyGraph& graph,
+                                const std::vector<uint64_t>& edge_ids);
+
+}  // namespace pghive::core
+
+#endif  // PGHIVE_CORE_CARDINALITY_H_

@@ -1,0 +1,216 @@
+#include "core/pghive.h"
+
+#include <algorithm>
+
+#include "core/cardinality.h"
+#include "core/constraints.h"
+#include "embed/corpus.h"
+#include "embed/hash_embedder.h"
+#include "lsh/euclidean_lsh.h"
+#include "lsh/minhash.h"
+#include "util/timer.h"
+
+namespace pghive::core {
+
+PgHive::PgHive(pg::PropertyGraph* graph, PgHiveOptions options)
+    : graph_(graph), options_(options) {
+  PGHIVE_CHECK(graph_ != nullptr);
+  if (options_.embedder == EmbedderKind::kWord2Vec) {
+    embed::Word2VecOptions w2v;
+    w2v.dim = options_.embedding_dim;
+    w2v.seed = options_.seed;
+    auto model = std::make_unique<embed::Word2Vec>(&graph_->vocab(), w2v);
+    word2vec_ = model.get();
+    embedder_ = std::move(model);
+  } else {
+    embedder_ = std::make_unique<embed::HashEmbedder>(
+        &graph_->vocab(), options_.embedding_dim, options_.seed);
+  }
+}
+
+PgHive::~PgHive() = default;
+
+lsh::ClusterSet PgHive::ClusterNodes(const pg::GraphBatch& batch,
+                                     const FeatureMatrix& features,
+                                     Vectorizer* vectorizer) {
+  if (options_.method == ClusterMethod::kElsh) {
+    AdaptiveChoice choice;
+    if (options_.adaptive) {
+      AdaptiveOptions aopts;
+      aopts.seed = options_.seed ^ 0x11;
+      choice = ChooseNodeParams(features, graph_->vocab().num_labels(), aopts);
+      choice.bucket_length *= options_.alpha_scale;
+    } else {
+      choice.bucket_length = options_.bucket_length;
+      choice.num_tables = options_.num_tables;
+    }
+    last_stats_.node_params = choice;
+    lsh::EuclideanLshParams params;
+    params.bucket_length = std::max(1e-6, choice.bucket_length);
+    params.num_tables = std::max<size_t>(1, choice.num_tables);
+    params.seed = options_.seed ^ 0xE15;
+    params.amplification = options_.amplification;
+    lsh::EuclideanLsh hasher(features.dim, params);
+    return hasher.Cluster(features.data, features.num);
+  }
+  // MinHash path clusters the element sets.
+  auto sets = vectorizer->NodeSets(batch);
+  AdaptiveChoice choice;
+  if (options_.adaptive) {
+    AdaptiveOptions aopts;
+    aopts.seed = options_.seed ^ 0x12;
+    choice = ChooseNodeParams(features, graph_->vocab().num_labels(), aopts);
+  } else {
+    choice.num_tables = options_.num_tables;
+  }
+  last_stats_.node_params = choice;
+  lsh::MinHashParams params;
+  params.num_hashes = std::max<size_t>(4, choice.num_tables);
+  params.rows_per_band =
+      std::min(options_.minhash_rows_per_band, params.num_hashes);
+  params.seed = options_.seed ^ 0x517;
+  params.amplification = options_.amplification;
+  lsh::MinHashLsh hasher(params);
+  return hasher.Cluster(sets);
+}
+
+lsh::ClusterSet PgHive::ClusterEdges(const pg::GraphBatch& batch,
+                                     const FeatureMatrix& features,
+                                     Vectorizer* vectorizer) {
+  if (options_.method == ClusterMethod::kElsh) {
+    AdaptiveChoice choice;
+    if (options_.adaptive) {
+      AdaptiveOptions aopts;
+      aopts.seed = options_.seed ^ 0x21;
+      choice = ChooseEdgeParams(features, graph_->vocab().num_labels(), aopts);
+      choice.bucket_length *= options_.alpha_scale;
+    } else {
+      choice.bucket_length = options_.bucket_length;
+      choice.num_tables = options_.num_tables;
+    }
+    last_stats_.edge_params = choice;
+    lsh::EuclideanLshParams params;
+    params.bucket_length = std::max(1e-6, choice.bucket_length);
+    params.num_tables = std::max<size_t>(1, choice.num_tables);
+    params.seed = options_.seed ^ 0xE25;
+    params.amplification = options_.amplification;
+    lsh::EuclideanLsh hasher(features.dim, params);
+    return hasher.Cluster(features.data, features.num);
+  }
+  auto sets = vectorizer->EdgeSets(batch);
+  AdaptiveChoice choice;
+  if (options_.adaptive) {
+    AdaptiveOptions aopts;
+    aopts.seed = options_.seed ^ 0x22;
+    choice = ChooseEdgeParams(features, graph_->vocab().num_labels(), aopts);
+  } else {
+    choice.num_tables = options_.num_tables;
+  }
+  last_stats_.edge_params = choice;
+  lsh::MinHashParams params;
+  params.num_hashes = std::max<size_t>(4, choice.num_tables);
+  params.rows_per_band =
+      std::min(options_.minhash_rows_per_band, params.num_hashes);
+  params.seed = options_.seed ^ 0x527;
+  params.amplification = options_.amplification;
+  lsh::MinHashLsh hasher(params);
+  return hasher.Cluster(sets);
+}
+
+util::Status PgHive::ProcessBatch(const pg::GraphBatch& batch) {
+  last_stats_ = PipelineStats{};
+  util::Timer timer;
+
+  // (b) Preprocess: train/refresh the label embedding on this batch, then
+  // build representation vectors.
+  if (word2vec_ != nullptr) {
+    embed::LabelCorpus corpus = embed::BuildLabelCorpus(*graph_, batch);
+    word2vec_->Train(corpus);
+  }
+  Vectorizer vectorizer(graph_, embedder_.get());
+  FeatureMatrix node_features = vectorizer.NodeFeatures(batch);
+  FeatureMatrix edge_features = vectorizer.EdgeFeatures(batch);
+  last_stats_.preprocess_ms = timer.ElapsedMillis();
+
+  // (c) LSH clustering.
+  timer.Reset();
+  lsh::ClusterSet node_clusters;
+  lsh::ClusterSet edge_clusters;
+  if (!batch.node_ids.empty()) {
+    node_clusters = ClusterNodes(batch, node_features, &vectorizer);
+    last_stats_.node_clusters = node_clusters.num_clusters();
+  }
+  if (!batch.edge_ids.empty()) {
+    edge_clusters = ClusterEdges(batch, edge_features, &vectorizer);
+    last_stats_.edge_clusters = edge_clusters.num_clusters();
+  }
+  last_stats_.cluster_ms = timer.ElapsedMillis();
+
+  // (d) Type extraction (Algorithm 2), merged into the running schema.
+  timer.Reset();
+  ExtractionOptions ext;
+  ext.jaccard_threshold = options_.jaccard_threshold;
+  if (!batch.node_ids.empty()) {
+    auto candidates = BuildNodeCandidates(*graph_, batch, node_clusters);
+    ExtractNodeTypes(std::move(candidates), ext, &schema_);
+  }
+  if (!batch.edge_ids.empty()) {
+    auto candidates = BuildEdgeCandidates(*graph_, batch, edge_clusters);
+    ExtractEdgeTypes(std::move(candidates), ext, &schema_);
+  }
+  last_stats_.extract_ms = timer.ElapsedMillis();
+
+  // (e)-(g) Optional per-batch post-processing.
+  if (options_.post_process_each_batch) {
+    timer.Reset();
+    InferPropertyConstraints(&schema_);
+    InferDataTypes(*graph_, &schema_, options_.datatype_options);
+    ComputeCardinalities(*graph_, &schema_);
+    last_stats_.post_process_ms = timer.ElapsedMillis();
+  }
+
+  ++batches_processed_;
+  total_stats_.preprocess_ms += last_stats_.preprocess_ms;
+  total_stats_.cluster_ms += last_stats_.cluster_ms;
+  total_stats_.extract_ms += last_stats_.extract_ms;
+  total_stats_.post_process_ms += last_stats_.post_process_ms;
+  total_stats_.node_clusters += last_stats_.node_clusters;
+  total_stats_.edge_clusters += last_stats_.edge_clusters;
+  return util::Status::Ok();
+}
+
+util::Status PgHive::Finish() {
+  util::Timer timer;
+  InferPropertyConstraints(&schema_);
+  InferDataTypes(*graph_, &schema_, options_.datatype_options);
+  ComputeCardinalities(*graph_, &schema_);
+  double ms = timer.ElapsedMillis();
+  last_stats_.post_process_ms += ms;
+  total_stats_.post_process_ms += ms;
+  return util::Status::Ok();
+}
+
+util::Status PgHive::Run() {
+  pg::GraphBatch batch = pg::FullBatch(*graph_);
+  util::Status status = ProcessBatch(batch);
+  if (!status.ok()) return status;
+  return Finish();
+}
+
+std::vector<uint32_t> PgHive::NodeAssignment() const {
+  return schema_.NodeAssignment(graph_->num_nodes());
+}
+
+std::vector<uint32_t> PgHive::EdgeAssignment() const {
+  return schema_.EdgeAssignment(graph_->num_edges());
+}
+
+util::Result<SchemaGraph> DiscoverSchema(pg::PropertyGraph* graph,
+                                         const PgHiveOptions& options) {
+  PgHive pipeline(graph, options);
+  util::Status status = pipeline.Run();
+  if (!status.ok()) return status;
+  return pipeline.schema();
+}
+
+}  // namespace pghive::core

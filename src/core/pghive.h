@@ -1,0 +1,139 @@
+#ifndef PGHIVE_CORE_PGHIVE_H_
+#define PGHIVE_CORE_PGHIVE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/adaptive.h"
+#include "core/datatype_inference.h"
+#include "core/schema.h"
+#include "core/type_extraction.h"
+#include "embed/word2vec.h"
+#include "lsh/clustering.h"
+#include "pg/batch.h"
+#include "pg/graph.h"
+#include "util/status.h"
+
+namespace pghive::core {
+
+/// Which LSH family clusters the representation vectors (§4.2).
+enum class ClusterMethod { kElsh, kMinHash };
+
+/// Which label embedder feeds the vectorizer (§4.1).
+enum class EmbedderKind { kWord2Vec, kHash };
+
+/// End-to-end pipeline options (Algorithm 1 inputs + engineering knobs).
+struct PgHiveOptions {
+  ClusterMethod method = ClusterMethod::kElsh;
+  EmbedderKind embedder = EmbedderKind::kWord2Vec;
+  size_t embedding_dim = 8;
+
+  /// Adaptive parameterization (§4.2). When false, the manual values below
+  /// are used ("users can always provide their own LSH parameters").
+  bool adaptive = true;
+  double bucket_length = 2.0;
+  size_t num_tables = 20;
+  size_t minhash_rows_per_band = 4;
+  lsh::Amplification amplification = lsh::Amplification::kAnd;
+
+  /// Jaccard threshold theta of Algorithm 2.
+  double jaccard_threshold = 0.9;
+
+  /// postProcessing flag of Algorithm 1: when true, constraints, data types
+  /// and cardinalities are refreshed after *every* batch; otherwise only at
+  /// Finish().
+  bool post_process_each_batch = false;
+
+  /// Data type inference sampling (§4.4).
+  DataTypeOptions datatype_options;
+
+  /// Scales the adaptive multiplier on alpha when sweeping Fig. 6's grid
+  /// (1.0 = the paper's heuristic).
+  double alpha_scale = 1.0;
+
+  uint64_t seed = 42;
+};
+
+/// Wall-clock breakdown of one batch (drives Figs. 5 and 7).
+struct PipelineStats {
+  double preprocess_ms = 0;   ///< Corpus + embedding training + vectorize.
+  double cluster_ms = 0;      ///< LSH hashing + grouping.
+  double extract_ms = 0;      ///< Algorithm 2.
+  double post_process_ms = 0; ///< Constraints + datatypes + cardinalities.
+  size_t node_clusters = 0;   ///< Clusters before merging.
+  size_t edge_clusters = 0;
+  AdaptiveChoice node_params; ///< The (b, T) actually used for nodes.
+  AdaptiveChoice edge_params;
+
+  double total_ms() const {
+    return preprocess_ms + cluster_ms + extract_ms + post_process_ms;
+  }
+  /// Time until type discovery (the paper's Fig. 5 measures up to and
+  /// including type extraction, excluding post-processing).
+  double discovery_ms() const {
+    return preprocess_ms + cluster_ms + extract_ms;
+  }
+};
+
+/// The PG-HIVE schema-discovery pipeline (Algorithm 1). Construct once per
+/// graph, then either call Run() for static discovery or feed batches with
+/// ProcessBatch() for incremental discovery, ending with Finish().
+class PgHive {
+ public:
+  PgHive(pg::PropertyGraph* graph, PgHiveOptions options);
+  ~PgHive();
+
+  PgHive(const PgHive&) = delete;
+  PgHive& operator=(const PgHive&) = delete;
+
+  /// Static mode: one full batch plus post-processing.
+  util::Status Run();
+
+  /// Incremental mode (§4.6): vectorize + cluster the batch, merge the
+  /// extracted candidate types into the running schema.
+  util::Status ProcessBatch(const pg::GraphBatch& batch);
+
+  /// Runs the post-processing passes (constraints, data types,
+  /// cardinalities) on the current schema.
+  util::Status Finish();
+
+  const SchemaGraph& schema() const { return schema_; }
+  SchemaGraph& mutable_schema() { return schema_; }
+
+  /// node id -> node type index (UINT32_MAX if unseen). For evaluation.
+  std::vector<uint32_t> NodeAssignment() const;
+  std::vector<uint32_t> EdgeAssignment() const;
+
+  /// Stats of the most recent batch.
+  const PipelineStats& last_stats() const { return last_stats_; }
+  /// Cumulative stats over all batches.
+  const PipelineStats& total_stats() const { return total_stats_; }
+
+  const PgHiveOptions& options() const { return options_; }
+
+ private:
+  lsh::ClusterSet ClusterNodes(const pg::GraphBatch& batch,
+                               const FeatureMatrix& features,
+                               Vectorizer* vectorizer);
+  lsh::ClusterSet ClusterEdges(const pg::GraphBatch& batch,
+                               const FeatureMatrix& features,
+                               Vectorizer* vectorizer);
+
+  pg::PropertyGraph* graph_;
+  PgHiveOptions options_;
+  SchemaGraph schema_;
+  std::unique_ptr<embed::LabelEmbedder> embedder_;
+  embed::Word2Vec* word2vec_ = nullptr;  // Non-null iff kWord2Vec.
+  PipelineStats last_stats_;
+  PipelineStats total_stats_;
+  size_t batches_processed_ = 0;
+};
+
+/// One-call convenience wrapper: discover the schema of `graph` with the
+/// given options (static mode).
+util::Result<SchemaGraph> DiscoverSchema(pg::PropertyGraph* graph,
+                                         const PgHiveOptions& options = {});
+
+}  // namespace pghive::core
+
+#endif  // PGHIVE_CORE_PGHIVE_H_

@@ -1,0 +1,67 @@
+#include "core/removal.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pghive::core {
+
+namespace {
+
+template <typename TypeT>
+size_t RemoveFromTypes(const pg::PropertyGraph& graph,
+                       const std::unordered_set<uint64_t>& victims,
+                       bool edges, std::vector<TypeT>* types,
+                       size_t* dropped) {
+  size_t removed = 0;
+  std::vector<TypeT> kept;
+  kept.reserve(types->size());
+  for (TypeT& type : *types) {
+    std::vector<uint64_t> remaining;
+    remaining.reserve(type.instances.size());
+    for (uint64_t id : type.instances) {
+      if (victims.count(id) == 0) {
+        remaining.push_back(id);
+        continue;
+      }
+      ++removed;
+      --type.instance_count;
+      // Decrement property counts using the element's current properties.
+      const pg::PropertyMap& props = edges ? graph.edge(id).properties
+                                           : graph.node(id).properties;
+      for (const auto& [key, value] : props.entries()) {
+        auto it = type.properties.find(key);
+        if (it != type.properties.end() && it->second.count > 0) {
+          --it->second.count;
+        }
+      }
+    }
+    type.instances = std::move(remaining);
+    if (type.instance_count == 0 || type.instances.empty()) {
+      ++*dropped;
+      continue;
+    }
+    kept.push_back(std::move(type));
+  }
+  *types = std::move(kept);
+  return removed;
+}
+
+}  // namespace
+
+RemovalResult RemoveBatch(const pg::PropertyGraph& graph,
+                          const pg::GraphBatch& batch, SchemaGraph* schema) {
+  RemovalResult result;
+  std::unordered_set<uint64_t> node_victims(batch.node_ids.begin(),
+                                            batch.node_ids.end());
+  std::unordered_set<uint64_t> edge_victims(batch.edge_ids.begin(),
+                                            batch.edge_ids.end());
+  result.nodes_removed =
+      RemoveFromTypes(graph, node_victims, /*edges=*/false,
+                      &schema->node_types(), &result.node_types_dropped);
+  result.edges_removed =
+      RemoveFromTypes(graph, edge_victims, /*edges=*/true,
+                      &schema->edge_types(), &result.edge_types_dropped);
+  return result;
+}
+
+}  // namespace pghive::core

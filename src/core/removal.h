@@ -1,0 +1,37 @@
+#ifndef PGHIVE_CORE_REMOVAL_H_
+#define PGHIVE_CORE_REMOVAL_H_
+
+#include "core/schema.h"
+#include "pg/batch.h"
+#include "pg/graph.h"
+
+namespace pghive::core {
+
+/// Result of applying a deletion batch to a schema.
+struct RemovalResult {
+  size_t nodes_removed = 0;
+  size_t edges_removed = 0;
+  size_t node_types_dropped = 0;  ///< Types left with zero instances.
+  size_t edge_types_dropped = 0;
+};
+
+/// Incremental *deletions* — the paper's explicit future work ("handling
+/// updates and deletions is left for future work", §4.6), implemented here
+/// as an extension:
+///
+///   - the given node/edge ids are removed from their types' instance lists,
+///   - per-property counts are decremented from the elements' current
+///     property maps (so mandatory/optional stays exact when the graph still
+///     holds the deleted elements' data at call time),
+///   - types whose instance count reaches zero are dropped.
+///
+/// Note the semantic asymmetry with insertion: deletions are *not* monotone
+/// (a schema may shrink), so the S_i ⊑ S_{i+1} chain only holds between
+/// deletions. Constraints and cardinalities should be refreshed afterwards
+/// via InferPropertyConstraints / ComputeCardinalities on the updated graph.
+RemovalResult RemoveBatch(const pg::PropertyGraph& graph,
+                          const pg::GraphBatch& batch, SchemaGraph* schema);
+
+}  // namespace pghive::core
+
+#endif  // PGHIVE_CORE_REMOVAL_H_

@@ -1,0 +1,158 @@
+#include "core/schema.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace pghive::core {
+
+const char* CardinalityKindName(CardinalityKind k) {
+  switch (k) {
+    case CardinalityKind::kUnknown:
+      return "?";
+    case CardinalityKind::kOneToOne:
+      return "1:1";
+    case CardinalityKind::kManyToOne:
+      return "N:1";
+    case CardinalityKind::kOneToMany:
+      return "1:N";
+    case CardinalityKind::kManyToMany:
+      return "M:N";
+  }
+  return "?";
+}
+
+CardinalityKind ClassifyCardinality(size_t max_out, size_t max_in) {
+  if (max_out == 0 && max_in == 0) return CardinalityKind::kUnknown;
+  bool out_many = max_out > 1;
+  bool in_many = max_in > 1;
+  if (out_many && in_many) return CardinalityKind::kManyToMany;
+  if (in_many) return CardinalityKind::kManyToOne;   // Many sources per target.
+  if (out_many) return CardinalityKind::kOneToMany;  // Many targets per source.
+  return CardinalityKind::kOneToOne;
+}
+
+namespace {
+
+uint64_t HashIdVector(uint64_t seed, const std::vector<uint32_t>& ids) {
+  uint64_t h = seed;
+  for (uint32_t id : ids) h = util::HashCombine(h, id + 1);
+  return h;
+}
+
+}  // namespace
+
+uint64_t NodePattern::Hash() const {
+  uint64_t h = HashIdVector(0x9e37, labels);
+  return HashIdVector(util::HashCombine(h, 0xF00D), keys);
+}
+
+uint64_t EdgePattern::Hash() const {
+  uint64_t h = HashIdVector(0x517c, labels);
+  h = HashIdVector(util::HashCombine(h, 0xF00D), keys);
+  h = HashIdVector(util::HashCombine(h, 0xBEEF), src_labels);
+  return HashIdVector(util::HashCombine(h, 0xCAFE), dst_labels);
+}
+
+std::vector<pg::PropKeyId> NodeType::Keys() const {
+  std::vector<pg::PropKeyId> keys;
+  keys.reserve(properties.size());
+  for (const auto& [k, info] : properties) keys.push_back(k);
+  return keys;
+}
+
+std::vector<pg::PropKeyId> EdgeType::Keys() const {
+  std::vector<pg::PropKeyId> keys;
+  keys.reserve(properties.size());
+  for (const auto& [k, info] : properties) keys.push_back(k);
+  return keys;
+}
+
+namespace {
+
+std::string TypeName(const pg::Vocabulary& vocab,
+                     const std::vector<pg::LabelId>& labels, size_t index) {
+  if (labels.empty()) return "Abstract#" + std::to_string(index);
+  std::vector<std::string> names;
+  names.reserve(labels.size());
+  for (pg::LabelId l : labels) names.push_back(vocab.LabelName(l));
+  std::sort(names.begin(), names.end());
+  std::string out;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i) out.push_back('|');
+    out += names[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string NodeType::Name(const pg::Vocabulary& vocab, size_t index) const {
+  return TypeName(vocab, labels, index);
+}
+
+std::string EdgeType::Name(const pg::Vocabulary& vocab, size_t index) const {
+  return TypeName(vocab, labels, index);
+}
+
+std::vector<uint32_t> SchemaGraph::NodeAssignment(size_t num_nodes) const {
+  std::vector<uint32_t> assignment(num_nodes, UINT32_MAX);
+  for (uint32_t t = 0; t < node_types_.size(); ++t) {
+    for (uint64_t id : node_types_[t].instances) {
+      if (id < num_nodes) assignment[id] = t;
+    }
+  }
+  return assignment;
+}
+
+std::vector<uint32_t> SchemaGraph::EdgeAssignment(size_t num_edges) const {
+  std::vector<uint32_t> assignment(num_edges, UINT32_MAX);
+  for (uint32_t t = 0; t < edge_types_.size(); ++t) {
+    for (uint64_t id : edge_types_[t].instances) {
+      if (id < num_edges) assignment[id] = t;
+    }
+  }
+  return assignment;
+}
+
+size_t SchemaGraph::TotalNodeLabels() const {
+  std::set<pg::LabelId> labels;
+  for (const auto& t : node_types_) labels.insert(t.labels.begin(), t.labels.end());
+  return labels.size();
+}
+
+size_t SchemaGraph::TotalEdgeLabels() const {
+  std::set<pg::LabelId> labels;
+  for (const auto& t : edge_types_) labels.insert(t.labels.begin(), t.labels.end());
+  return labels.size();
+}
+
+std::vector<uint32_t> UnionSorted(const std::vector<uint32_t>& a,
+                                  const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+double JaccardSorted(const std::vector<uint32_t>& a,
+                     const std::vector<uint32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
+}
+
+}  // namespace pghive::core

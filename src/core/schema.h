@@ -1,0 +1,141 @@
+#ifndef PGHIVE_CORE_SCHEMA_H_
+#define PGHIVE_CORE_SCHEMA_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pg/graph.h"
+
+namespace pghive::core {
+
+/// Whether a property is present in every instance of its type (§4.4).
+enum class Requiredness { kMandatory, kOptional };
+
+/// Edge cardinality classes inferred from max in/out degrees (§4.4).
+enum class CardinalityKind {
+  kUnknown,
+  kOneToOne,    // (1, 1)
+  kManyToOne,   // (>1, 1)  -- N:1
+  kOneToMany,   // (1, >1)  -- 1:N
+  kManyToMany,  // (>1, >1) -- M:N
+};
+
+const char* CardinalityKindName(CardinalityKind k);
+
+/// Cardinality constraint C of Def. 3.3: the observed degree bounds.
+struct Cardinality {
+  size_t max_out = 0;
+  size_t max_in = 0;
+  CardinalityKind kind = CardinalityKind::kUnknown;
+};
+
+/// Classifies (max_out, max_in) into the four cardinality classes.
+CardinalityKind ClassifyCardinality(size_t max_out, size_t max_in);
+
+/// A node pattern (Def. 3.5): a label set plus a property-key set.
+struct NodePattern {
+  std::vector<pg::LabelId> labels;   // Sorted.
+  std::vector<pg::PropKeyId> keys;   // Sorted.
+
+  bool operator==(const NodePattern&) const = default;
+  uint64_t Hash() const;
+};
+
+/// An edge pattern (Def. 3.6): labels, keys, and endpoint label sets.
+struct EdgePattern {
+  std::vector<pg::LabelId> labels;
+  std::vector<pg::PropKeyId> keys;
+  std::vector<pg::LabelId> src_labels;
+  std::vector<pg::LabelId> dst_labels;
+
+  bool operator==(const EdgePattern&) const = default;
+  uint64_t Hash() const;
+};
+
+/// Per-property accumulated statistics of a type. Counts drive the
+/// mandatory/optional constraint; the data type is filled by the (optional)
+/// inference pass.
+struct PropertyInfo {
+  size_t count = 0;  ///< Number of instances carrying the property.
+  pg::DataType data_type = pg::DataType::kNull;
+  Requiredness requiredness = Requiredness::kOptional;
+};
+
+/// A discovered node type (Def. 3.2) together with its supporting evidence:
+/// instance ids, per-property counts, and the distinct patterns it covers.
+struct NodeType {
+  std::vector<pg::LabelId> labels;  ///< Sorted union; empty => ABSTRACT.
+  std::map<pg::PropKeyId, PropertyInfo> properties;
+  std::vector<uint64_t> instances;  ///< Node ids assigned to this type.
+  size_t instance_count = 0;
+  std::set<uint64_t> pattern_hashes;  ///< Distinct NodePattern hashes seen.
+
+  bool is_abstract() const { return labels.empty(); }
+
+  /// The sorted property-key set (K of the type pattern).
+  std::vector<pg::PropKeyId> Keys() const;
+
+  /// Display name, e.g. "Person", "Org|Company", "Abstract#3".
+  std::string Name(const pg::Vocabulary& vocab, size_t index) const;
+};
+
+/// A discovered edge type (Def. 3.3). Endpoints rho_e accumulate as pairs of
+/// source/target *node-type label-set tokens* so connectivity survives
+/// merging without pointer chasing.
+struct EdgeType {
+  std::vector<pg::LabelId> labels;
+  std::map<pg::PropKeyId, PropertyInfo> properties;
+  std::vector<uint64_t> instances;  ///< Edge ids assigned to this type.
+  size_t instance_count = 0;
+  std::set<uint64_t> pattern_hashes;
+  /// Distinct (src token, dst token) endpoint pairs (pg::kNoToken allowed).
+  std::set<std::pair<uint32_t, uint32_t>> endpoints;
+  Cardinality cardinality;
+
+  bool is_abstract() const { return labels.empty(); }
+  std::vector<pg::PropKeyId> Keys() const;
+  std::string Name(const pg::Vocabulary& vocab, size_t index) const;
+};
+
+/// The schema graph of Def. 3.4: node types, edge types, and connectivity.
+/// Also tracks instance -> type assignments for evaluation.
+class SchemaGraph {
+ public:
+  SchemaGraph() = default;
+
+  std::vector<NodeType>& node_types() { return node_types_; }
+  const std::vector<NodeType>& node_types() const { return node_types_; }
+  std::vector<EdgeType>& edge_types() { return edge_types_; }
+  const std::vector<EdgeType>& edge_types() const { return edge_types_; }
+
+  size_t num_node_types() const { return node_types_.size(); }
+  size_t num_edge_types() const { return edge_types_.size(); }
+
+  /// instance id -> node type index (dense vectors sized to the graph);
+  /// UINT32_MAX for unassigned instances.
+  std::vector<uint32_t> NodeAssignment(size_t num_nodes) const;
+  std::vector<uint32_t> EdgeAssignment(size_t num_edges) const;
+
+  /// Total distinct labels over node / edge types (schema summary).
+  size_t TotalNodeLabels() const;
+  size_t TotalEdgeLabels() const;
+
+ private:
+  std::vector<NodeType> node_types_;
+  std::vector<EdgeType> edge_types_;
+};
+
+/// Union-merge of label vectors (sorted inputs -> sorted output).
+std::vector<uint32_t> UnionSorted(const std::vector<uint32_t>& a,
+                                  const std::vector<uint32_t>& b);
+
+/// Jaccard similarity of two sorted id vectors; 1.0 when both empty.
+double JaccardSorted(const std::vector<uint32_t>& a,
+                     const std::vector<uint32_t>& b);
+
+}  // namespace pghive::core
+
+#endif  // PGHIVE_CORE_SCHEMA_H_

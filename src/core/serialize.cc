@@ -1,0 +1,205 @@
+#include "core/serialize.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace pghive::core {
+
+namespace {
+
+std::string SanitizeIdentifier(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  if (out.empty()) out = "T";
+  return out;
+}
+
+std::string LabelSpec(const pg::Vocabulary& vocab,
+                      const std::vector<pg::LabelId>& labels) {
+  std::string out;
+  for (pg::LabelId l : labels) {
+    out += " & ";
+    out += vocab.LabelName(l);
+  }
+  if (!out.empty()) out = out.substr(3);
+  return out;
+}
+
+template <typename TypeT>
+std::string PropertyBlock(const pg::Vocabulary& vocab, const TypeT& type,
+                          SchemaMode mode) {
+  if (type.properties.empty()) return "";
+  std::string out = " {";
+  bool first = true;
+  for (const auto& [key, info] : type.properties) {
+    if (!first) out += ", ";
+    first = false;
+    if (mode == SchemaMode::kStrict &&
+        info.requiredness == Requiredness::kOptional) {
+      out += "OPTIONAL ";
+    }
+    out += vocab.KeyName(key);
+    if (mode == SchemaMode::kStrict) {
+      out.push_back(' ');
+      out += pg::DataTypeName(info.data_type == pg::DataType::kNull
+                                  ? pg::DataType::kString
+                                  : info.data_type);
+    }
+  }
+  if (mode == SchemaMode::kLoose) out += ", OPEN";
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string SerializePgSchema(const SchemaGraph& schema,
+                              const pg::Vocabulary& vocab, SchemaMode mode) {
+  std::ostringstream out;
+  out << "CREATE GRAPH TYPE PgHiveSchema "
+      << (mode == SchemaMode::kStrict ? "STRICT" : "LOOSE") << " {\n";
+  bool first = true;
+  for (size_t i = 0; i < schema.node_types().size(); ++i) {
+    const NodeType& t = schema.node_types()[i];
+    if (!first) out << ",\n";
+    first = false;
+    std::string type_name = SanitizeIdentifier(t.Name(vocab, i)) + "Type";
+    out << "  (" << (t.is_abstract() ? "ABSTRACT " : "") << type_name;
+    if (!t.labels.empty()) out << " : " << LabelSpec(vocab, t.labels);
+    out << PropertyBlock(vocab, t, mode) << ")";
+  }
+  for (size_t i = 0; i < schema.edge_types().size(); ++i) {
+    const EdgeType& t = schema.edge_types()[i];
+    if (!first) out << ",\n";
+    first = false;
+    std::string type_name = SanitizeIdentifier(t.Name(vocab, i)) + "EdgeType";
+    // Endpoint spec: the union of source/target tokens observed.
+    auto token_list = [&](bool src_side) {
+      std::string spec;
+      std::set<uint32_t> tokens;
+      for (const auto& [s, d] : t.endpoints) {
+        uint32_t tok = src_side ? s : d;
+        if (tok != pg::kNoToken) tokens.insert(tok);
+      }
+      bool f = true;
+      for (uint32_t tok : tokens) {
+        if (!f) spec += " | ";
+        f = false;
+        spec += SanitizeIdentifier(vocab.TokenName(tok)) + "Type";
+      }
+      if (spec.empty()) spec = "ANY";
+      return spec;
+    };
+    out << "  (:" << token_list(true) << ")-[";
+    if (t.is_abstract()) out << "ABSTRACT ";
+    out << type_name;
+    if (!t.labels.empty()) out << " : " << LabelSpec(vocab, t.labels);
+    out << PropertyBlock(vocab, t, mode) << "]->(:" << token_list(false)
+        << ")";
+    if (mode == SchemaMode::kStrict &&
+        t.cardinality.kind != CardinalityKind::kUnknown) {
+      out << " /* " << CardinalityKindName(t.cardinality.kind) << " */";
+    }
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+const char* XsdTypeName(pg::DataType t) {
+  switch (t) {
+    case pg::DataType::kInteger:
+      return "xs:long";
+    case pg::DataType::kFloat:
+      return "xs:double";
+    case pg::DataType::kBoolean:
+      return "xs:boolean";
+    case pg::DataType::kDate:
+      return "xs:date";
+    case pg::DataType::kDateTime:
+      return "xs:dateTime";
+    case pg::DataType::kNull:
+    case pg::DataType::kString:
+      return "xs:string";
+  }
+  return "xs:string";
+}
+
+std::string SerializeXsd(const SchemaGraph& schema,
+                         const pg::Vocabulary& vocab) {
+  std::ostringstream out;
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n";
+  auto emit_properties = [&](const std::map<pg::PropKeyId, PropertyInfo>& props) {
+    for (const auto& [key, info] : props) {
+      out << "      <xs:attribute name=\""
+          << SanitizeIdentifier(vocab.KeyName(key)) << "\" type=\""
+          << XsdTypeName(info.data_type) << "\" use=\""
+          << (info.requiredness == Requiredness::kMandatory ? "required"
+                                                            : "optional")
+          << "\"/>\n";
+    }
+  };
+  for (size_t i = 0; i < schema.node_types().size(); ++i) {
+    const NodeType& t = schema.node_types()[i];
+    out << "  <xs:element name=\"" << SanitizeIdentifier(t.Name(vocab, i))
+        << "\">\n    <xs:complexType>\n";
+    emit_properties(t.properties);
+    out << "    </xs:complexType>\n  </xs:element>\n";
+  }
+  for (size_t i = 0; i < schema.edge_types().size(); ++i) {
+    const EdgeType& t = schema.edge_types()[i];
+    out << "  <xs:element name=\"" << SanitizeIdentifier(t.Name(vocab, i))
+        << "_edge\">\n    <xs:complexType>\n";
+    emit_properties(t.properties);
+    out << "      <xs:attribute name=\"source\" type=\"xs:IDREF\" "
+           "use=\"required\"/>\n"
+        << "      <xs:attribute name=\"target\" type=\"xs:IDREF\" "
+           "use=\"required\"/>\n";
+    if (t.cardinality.kind != CardinalityKind::kUnknown) {
+      out << "      <!-- cardinality: "
+          << CardinalityKindName(t.cardinality.kind) << " -->\n";
+    }
+    out << "    </xs:complexType>\n  </xs:element>\n";
+  }
+  out << "</xs:schema>\n";
+  return out.str();
+}
+
+std::string DescribeSchema(const SchemaGraph& schema,
+                           const pg::Vocabulary& vocab) {
+  std::ostringstream out;
+  out << "Schema: " << schema.num_node_types() << " node types, "
+      << schema.num_edge_types() << " edge types\n";
+  for (size_t i = 0; i < schema.node_types().size(); ++i) {
+    const NodeType& t = schema.node_types()[i];
+    out << "  node " << t.Name(vocab, i) << " [" << t.instance_count
+        << " instances, " << t.pattern_hashes.size() << " patterns]";
+    for (const auto& [key, info] : t.properties) {
+      out << ' ' << vocab.KeyName(key) << ':'
+          << pg::DataTypeName(info.data_type)
+          << (info.requiredness == Requiredness::kMandatory ? "!" : "?");
+    }
+    out << '\n';
+  }
+  for (size_t i = 0; i < schema.edge_types().size(); ++i) {
+    const EdgeType& t = schema.edge_types()[i];
+    out << "  edge " << t.Name(vocab, i) << " [" << t.instance_count
+        << " instances, " << CardinalityKindName(t.cardinality.kind) << "]";
+    for (const auto& [key, info] : t.properties) {
+      out << ' ' << vocab.KeyName(key) << ':'
+          << pg::DataTypeName(info.data_type)
+          << (info.requiredness == Requiredness::kMandatory ? "!" : "?");
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace pghive::core

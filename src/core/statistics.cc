@@ -1,0 +1,107 @@
+#include "core/statistics.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace pghive::core {
+
+SchemaStatistics SchemaStatistics::Compute(const pg::PropertyGraph& graph,
+                                           const SchemaGraph& schema) {
+  SchemaStatistics stats;
+  const double total_nodes =
+      std::max<size_t>(1, graph.num_nodes());
+  const double total_edges =
+      std::max<size_t>(1, graph.num_edges());
+
+  for (const NodeType& type : schema.node_types()) {
+    NodeTypeStats s;
+    s.instance_count = type.instances.size();
+    s.selectivity = static_cast<double>(s.instance_count) / total_nodes;
+    std::map<pg::PropKeyId, std::unordered_set<std::string>> values;
+    std::map<pg::PropKeyId, size_t> present;
+    for (uint64_t id : type.instances) {
+      for (const auto& [key, value] : graph.node(id).properties.entries()) {
+        ++present[key];
+        values[key].insert(value.ToString());
+      }
+    }
+    for (const auto& [key, count] : present) {
+      s.property_frequency[key] =
+          s.instance_count == 0
+              ? 0.0
+              : static_cast<double>(count) / s.instance_count;
+      s.distinct_values[key] = values[key].size();
+    }
+    stats.node_stats_.push_back(std::move(s));
+  }
+
+  for (const EdgeType& type : schema.edge_types()) {
+    EdgeTypeStats s;
+    s.instance_count = type.instances.size();
+    s.selectivity = static_cast<double>(s.instance_count) / total_edges;
+    std::unordered_set<pg::NodeId> sources, targets;
+    for (uint64_t id : type.instances) {
+      sources.insert(graph.edge(id).src);
+      targets.insert(graph.edge(id).dst);
+    }
+    s.distinct_sources = sources.size();
+    s.distinct_targets = targets.size();
+    s.avg_out_degree = sources.empty()
+                           ? 0.0
+                           : static_cast<double>(s.instance_count) /
+                                 static_cast<double>(sources.size());
+    s.avg_in_degree = targets.empty()
+                          ? 0.0
+                          : static_cast<double>(s.instance_count) /
+                                static_cast<double>(targets.size());
+    stats.edge_stats_.push_back(std::move(s));
+  }
+  return stats;
+}
+
+double SchemaStatistics::EstimateNodeScan(uint32_t type) const {
+  if (type >= node_stats_.size()) return 0.0;
+  return static_cast<double>(node_stats_[type].instance_count);
+}
+
+double SchemaStatistics::EstimateExpansion(uint32_t edge_type,
+                                           double src_nodes) const {
+  if (edge_type >= edge_stats_.size()) return 0.0;
+  return src_nodes * edge_stats_[edge_type].avg_out_degree;
+}
+
+double SchemaStatistics::EstimatePropertyFilter(uint32_t node_type,
+                                                pg::PropKeyId key) const {
+  if (node_type >= node_stats_.size()) return 0.0;
+  const NodeTypeStats& s = node_stats_[node_type];
+  auto it = s.property_frequency.find(key);
+  if (it == s.property_frequency.end()) return 0.0;
+  return static_cast<double>(s.instance_count) * it->second;
+}
+
+std::string SchemaStatistics::ToString(const pg::Vocabulary& vocab,
+                                       const SchemaGraph& schema) const {
+  std::ostringstream out;
+  for (size_t t = 0; t < node_stats_.size() && t < schema.num_node_types();
+       ++t) {
+    const NodeTypeStats& s = node_stats_[t];
+    out << "node " << schema.node_types()[t].Name(vocab, t) << ": count="
+        << s.instance_count << " sel=" << s.selectivity;
+    for (const auto& [key, freq] : s.property_frequency) {
+      out << ' ' << vocab.KeyName(key) << "(f=" << freq
+          << ",ndv=" << s.distinct_values.at(key) << ')';
+    }
+    out << '\n';
+  }
+  for (size_t t = 0; t < edge_stats_.size() && t < schema.num_edge_types();
+       ++t) {
+    const EdgeTypeStats& s = edge_stats_[t];
+    out << "edge " << schema.edge_types()[t].Name(vocab, t) << ": count="
+        << s.instance_count << " sel=" << s.selectivity
+        << " avg_out=" << s.avg_out_degree << " avg_in=" << s.avg_in_degree
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace pghive::core

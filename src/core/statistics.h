@@ -1,0 +1,70 @@
+#ifndef PGHIVE_CORE_STATISTICS_H_
+#define PGHIVE_CORE_STATISTICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "pg/graph.h"
+
+namespace pghive::core {
+
+/// Statistics for one node type.
+struct NodeTypeStats {
+  size_t instance_count = 0;
+  double selectivity = 0.0;  ///< instance share of all nodes.
+  /// Per-property presence frequency f_T(p) in [0,1].
+  std::map<pg::PropKeyId, double> property_frequency;
+  /// Distinct-value counts per property (capped sampling-free exact count).
+  std::map<pg::PropKeyId, size_t> distinct_values;
+};
+
+/// Statistics for one edge type.
+struct EdgeTypeStats {
+  size_t instance_count = 0;
+  double selectivity = 0.0;  ///< instance share of all edges.
+  double avg_out_degree = 0.0;  ///< edges per participating source.
+  double avg_in_degree = 0.0;   ///< edges per participating target.
+  size_t distinct_sources = 0;
+  size_t distinct_targets = 0;
+};
+
+/// Schema-level statistics computed from a discovered schema plus its
+/// graph — the "query optimization" payoff the paper's introduction
+/// motivates (schema-aware cardinality estimation needs exactly these
+/// numbers: type selectivities, property frequencies, and per-relationship
+/// fan-outs).
+class SchemaStatistics {
+ public:
+  /// Computes statistics for every type in `schema` against `graph`.
+  static SchemaStatistics Compute(const pg::PropertyGraph& graph,
+                                  const SchemaGraph& schema);
+
+  const std::vector<NodeTypeStats>& node_stats() const { return node_stats_; }
+  const std::vector<EdgeTypeStats>& edge_stats() const { return edge_stats_; }
+
+  /// Estimated result size of scanning one node type (= its count).
+  double EstimateNodeScan(uint32_t type) const;
+
+  /// Estimated result size of a one-hop expansion from `src_nodes` rows of
+  /// the given edge type's source side: rows * avg_out_degree.
+  double EstimateExpansion(uint32_t edge_type, double src_nodes) const;
+
+  /// Estimated rows of a node-type scan filtered on "property exists":
+  /// count * f_T(p).
+  double EstimatePropertyFilter(uint32_t node_type, pg::PropKeyId key) const;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString(const pg::Vocabulary& vocab,
+                       const SchemaGraph& schema) const;
+
+ private:
+  std::vector<NodeTypeStats> node_stats_;
+  std::vector<EdgeTypeStats> edge_stats_;
+};
+
+}  // namespace pghive::core
+
+#endif  // PGHIVE_CORE_STATISTICS_H_

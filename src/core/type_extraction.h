@@ -1,0 +1,82 @@
+#ifndef PGHIVE_CORE_TYPE_EXTRACTION_H_
+#define PGHIVE_CORE_TYPE_EXTRACTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/schema.h"
+#include "lsh/clustering.h"
+#include "pg/batch.h"
+#include "pg/graph.h"
+
+namespace pghive::core {
+
+/// A candidate type: the representative pattern of one LSH cluster (§4.2,
+/// "cluster representative") plus per-property evidence.
+struct CandidateType {
+  std::vector<pg::LabelId> labels;    ///< Union over members, sorted.
+  std::vector<pg::PropKeyId> keys;    ///< Union over members, sorted.
+  std::vector<uint64_t> instances;    ///< Node or edge ids of the members.
+  size_t instance_count = 0;
+  std::vector<std::pair<pg::PropKeyId, size_t>> key_counts;  ///< Sorted by key.
+  std::vector<uint64_t> pattern_hashes;  ///< Distinct member pattern hashes.
+  /// Edges only: distinct (src token, dst token) pairs over members.
+  std::vector<std::pair<uint32_t, uint32_t>> endpoints;
+
+  bool labeled() const { return !labels.empty(); }
+};
+
+/// Builds node candidates from an LSH clustering of a batch: cluster i's
+/// representative is (union of labels, union of keys) over its members,
+/// with per-key presence counts for the later constraint inference.
+std::vector<CandidateType> BuildNodeCandidates(const pg::PropertyGraph& graph,
+                                               const pg::GraphBatch& batch,
+                                               const lsh::ClusterSet& clusters);
+
+/// Edge version; also collects endpoint label-set token pairs.
+std::vector<CandidateType> BuildEdgeCandidates(pg::PropertyGraph& graph,
+                                               const pg::GraphBatch& batch,
+                                               const lsh::ClusterSet& clusters);
+
+/// Options for Algorithm 2.
+struct ExtractionOptions {
+  /// Jaccard threshold theta for merging unlabeled clusters (paper: 0.9).
+  double jaccard_threshold = 0.9;
+};
+
+/// Algorithm 2 — extracting and merging types, applied *incrementally*
+/// against an existing schema:
+///
+///   1. Labeled candidates merge into the type with the identical label set
+///      (else they are appended as new types).
+///   2. Unlabeled candidates merge into the labeled type with the highest
+///      property-set Jaccard >= theta.
+///   3. Remaining unlabeled candidates merge with each other (same Jaccard
+///      rule) and with existing ABSTRACT types; leftovers become new
+///      ABSTRACT types.
+///
+/// All merges are unions (Lemmas 1 & 2): no label, property, endpoint, or
+/// instance is ever dropped, which makes the incremental chain of schemas
+/// monotone (S_i ⊑ S_{i+1}).
+void ExtractNodeTypes(std::vector<CandidateType> candidates,
+                      const ExtractionOptions& options, SchemaGraph* schema);
+
+/// Edge variant. Per §4.3 edges merge primarily by label; unlabeled edge
+/// clusters use Jaccard over property keys plus endpoint tokens so that
+/// property-less edge types with different endpoints stay distinct.
+void ExtractEdgeTypes(std::vector<CandidateType> candidates,
+                      const ExtractionOptions& options, SchemaGraph* schema);
+
+/// Schema merging (§4.6): the least general schema covering both inputs.
+/// Implemented by replaying b's types as candidates into a copy of a, so it
+/// inherits Algorithm 2's label/Jaccard/ABSTRACT rules.
+SchemaGraph MergeSchemas(const SchemaGraph& a, const SchemaGraph& b,
+                         const ExtractionOptions& options = {});
+
+/// Converts a type back into a candidate (used by MergeSchemas and tests).
+CandidateType NodeTypeToCandidate(const NodeType& type);
+CandidateType EdgeTypeToCandidate(const EdgeType& type);
+
+}  // namespace pghive::core
+
+#endif  // PGHIVE_CORE_TYPE_EXTRACTION_H_

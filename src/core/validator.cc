@@ -1,0 +1,313 @@
+#include "core/validator.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace pghive::core {
+
+const char* ViolationKindName(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kUnknownNodeType:
+      return "UNKNOWN_NODE_TYPE";
+    case ViolationKind::kUnknownEdgeType:
+      return "UNKNOWN_EDGE_TYPE";
+    case ViolationKind::kMissingMandatory:
+      return "MISSING_MANDATORY";
+    case ViolationKind::kUndeclaredProperty:
+      return "UNDECLARED_PROPERTY";
+    case ViolationKind::kDataTypeMismatch:
+      return "DATATYPE_MISMATCH";
+    case ViolationKind::kEndpointMismatch:
+      return "ENDPOINT_MISMATCH";
+    case ViolationKind::kCardinalityExceeded:
+      return "CARDINALITY_EXCEEDED";
+  }
+  return "?";
+}
+
+size_t ValidationReport::CountKind(ViolationKind kind) const {
+  size_t count = 0;
+  for (const Violation& v : violations) count += v.kind == kind;
+  return count;
+}
+
+std::string ValidationReport::Summary() const {
+  std::ostringstream out;
+  out << "checked " << nodes_checked << " nodes, " << edges_checked
+      << " edges: ";
+  if (conforms()) {
+    out << "CONFORMS";
+  } else {
+    out << violations.size() << " violations";
+    for (int k = 0; k <= static_cast<int>(ViolationKind::kCardinalityExceeded);
+         ++k) {
+      size_t c = CountKind(static_cast<ViolationKind>(k));
+      if (c > 0) {
+        out << ", " << ViolationKindName(static_cast<ViolationKind>(k)) << "="
+            << c;
+      }
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+uint64_t LabelSetKey(const std::vector<pg::LabelId>& labels) {
+  uint64_t h = 0x2545F4914F6CDD1DULL;
+  for (pg::LabelId l : labels) h = util::HashCombine(h, l + 1);
+  return h;
+}
+
+// Whether a value is compatible with a declared type: the value's inferred
+// type joined with the declared type must not generalize past it.
+bool ValueCompatible(const pg::Value& value, pg::DataType declared) {
+  if (declared == pg::DataType::kString || declared == pg::DataType::kNull) {
+    return true;  // Everything renders as a string.
+  }
+  pg::DataType observed = value.InferType();
+  if (observed == pg::DataType::kNull) return true;
+  return pg::JoinDataTypes(observed, declared) == declared;
+}
+
+}  // namespace
+
+SchemaValidator::SchemaValidator(const SchemaGraph* schema,
+                                 ValidatorOptions options)
+    : schema_(schema), options_(options) {}
+
+ValidationReport SchemaValidator::Validate(
+    const pg::PropertyGraph& graph) const {
+  ValidationReport report;
+  const bool strict = options_.mode == SchemaMode::kStrict;
+  pg::Vocabulary& vocab = const_cast<pg::PropertyGraph&>(graph).vocab();
+
+  auto full = [&]() {
+    return options_.max_violations > 0 &&
+           report.violations.size() >= options_.max_violations;
+  };
+  auto add = [&](ViolationKind kind, bool is_edge, uint64_t id,
+                 std::string detail) {
+    if (full()) return;
+    report.violations.push_back({kind, is_edge, id, std::move(detail)});
+  };
+
+  // Index types by exact label set; collect abstract and labeled types
+  // separately. LOOSE matching falls back to any type whose label set is a
+  // superset of the element's (union-labeled types emerge when the LSH pass
+  // groups structurally identical elements of several labels, §4.3).
+  std::unordered_map<uint64_t, const NodeType*> node_by_labels;
+  std::vector<const NodeType*> labeled_node_types;
+  std::vector<const NodeType*> abstract_node_types;
+  for (const NodeType& t : schema_->node_types()) {
+    if (t.is_abstract()) {
+      abstract_node_types.push_back(&t);
+    } else {
+      node_by_labels[LabelSetKey(t.labels)] = &t;
+      labeled_node_types.push_back(&t);
+    }
+  }
+  std::unordered_map<uint64_t, const EdgeType*> edge_by_labels;
+  std::vector<const EdgeType*> labeled_edge_types;
+  std::vector<const EdgeType*> abstract_edge_types;
+  for (const EdgeType& t : schema_->edge_types()) {
+    if (t.is_abstract()) {
+      abstract_edge_types.push_back(&t);
+    } else {
+      edge_by_labels[LabelSetKey(t.labels)] = &t;
+      labeled_edge_types.push_back(&t);
+    }
+  }
+  auto is_label_subset = [](const std::vector<pg::LabelId>& sub,
+                            const std::vector<pg::LabelId>& super) {
+    return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+  };
+
+  // Property checks for a candidate type, collected into `out` so callers
+  // can compare candidates and keep the cleanest match.
+  auto property_violations = [&](const auto& type,
+                                 const pg::PropertyMap& props, bool is_edge,
+                                 uint64_t id, std::vector<Violation>* out) {
+    for (const auto& [key, info] : type.properties) {
+      if (info.requiredness == Requiredness::kMandatory && !props.Has(key)) {
+        out->push_back({ViolationKind::kMissingMandatory, is_edge, id,
+                        "missing mandatory property '" + vocab.KeyName(key) +
+                            "'"});
+      }
+    }
+    if (!strict) return;
+    for (const auto& [key, value] : props.entries()) {
+      auto it = type.properties.find(key);
+      if (it == type.properties.end()) {
+        out->push_back({ViolationKind::kUndeclaredProperty, is_edge, id,
+                        "property '" + vocab.KeyName(key) +
+                            "' not declared"});
+        continue;
+      }
+      if (!ValueCompatible(value, it->second.data_type)) {
+        out->push_back({ViolationKind::kDataTypeMismatch, is_edge, id,
+                        "property '" + vocab.KeyName(key) + "' value '" +
+                            value.ToString() + "' incompatible with " +
+                            pg::DataTypeName(it->second.data_type)});
+      }
+    }
+  };
+
+  // Checks an element against all candidate types; conforms if any candidate
+  // is violation-free, otherwise reports the cleanest candidate's issues.
+  auto check_candidates = [&](const auto& candidates,
+                              const pg::PropertyMap& props, bool is_edge,
+                              uint64_t id) {
+    std::vector<Violation> best;
+    bool first = true;
+    for (const auto* type : candidates) {
+      std::vector<Violation> current;
+      property_violations(*type, props, is_edge, id, &current);
+      if (current.empty()) return;  // Clean match.
+      if (first || current.size() < best.size()) best = std::move(current);
+      first = false;
+    }
+    for (Violation& v : best) {
+      if (full()) return;
+      report.violations.push_back(std::move(v));
+    }
+  };
+
+  // Unlabeled elements match any abstract type covering their key set.
+  auto matches_abstract = [&](const auto& abstract_types,
+                              const pg::PropertyMap& props) {
+    for (const auto* t : abstract_types) {
+      bool covered = true;
+      for (const auto& [key, value] : props.entries()) {
+        if (!t->properties.count(key)) {
+          covered = false;
+          break;
+        }
+      }
+      if (covered) return true;
+    }
+    return false;
+  };
+
+  // --- Nodes ---
+  for (const pg::Node& node : graph.nodes()) {
+    if (full()) break;
+    ++report.nodes_checked;
+    if (node.labels.empty()) {
+      if (!matches_abstract(abstract_node_types, node.properties) &&
+          node_by_labels.empty() == false) {
+        // An unlabeled node is fine in LOOSE mode if some labeled type could
+        // host it (Jaccard-mergeable); in STRICT mode it must match an
+        // ABSTRACT type.
+        if (strict) {
+          add(ViolationKind::kUnknownNodeType, false, node.id,
+              "unlabeled node matches no ABSTRACT type");
+        }
+      }
+      continue;
+    }
+    std::vector<const NodeType*> candidates;
+    auto it = node_by_labels.find(LabelSetKey(node.labels));
+    if (it != node_by_labels.end()) candidates.push_back(it->second);
+    if (!strict) {
+      for (const NodeType* t : labeled_node_types) {
+        if (t != (candidates.empty() ? nullptr : candidates[0]) &&
+            is_label_subset(node.labels, t->labels)) {
+          candidates.push_back(t);
+        }
+      }
+    }
+    if (candidates.empty()) {
+      add(ViolationKind::kUnknownNodeType, false, node.id,
+          "no type with this label set");
+      continue;
+    }
+    check_candidates(candidates, node.properties, false, node.id);
+  }
+
+  // --- Edges ---
+  std::unordered_map<const EdgeType*,
+                     std::unordered_map<pg::NodeId, std::unordered_set<pg::NodeId>>>
+      out_targets;
+  std::unordered_map<const EdgeType*,
+                     std::unordered_map<pg::NodeId, std::unordered_set<pg::NodeId>>>
+      in_sources;
+  for (const pg::Edge& edge : graph.edges()) {
+    if (full()) break;
+    ++report.edges_checked;
+    const EdgeType* type = nullptr;
+    if (edge.labels.empty()) {
+      if (strict && !matches_abstract(abstract_edge_types, edge.properties)) {
+        add(ViolationKind::kUnknownEdgeType, true, edge.id,
+            "unlabeled edge matches no ABSTRACT type");
+      }
+      continue;
+    }
+    std::vector<const EdgeType*> candidates;
+    auto it = edge_by_labels.find(LabelSetKey(edge.labels));
+    if (it != edge_by_labels.end()) candidates.push_back(it->second);
+    if (!strict) {
+      for (const EdgeType* t : labeled_edge_types) {
+        if (t != (candidates.empty() ? nullptr : candidates[0]) &&
+            is_label_subset(edge.labels, t->labels)) {
+          candidates.push_back(t);
+        }
+      }
+    }
+    if (candidates.empty()) {
+      add(ViolationKind::kUnknownEdgeType, true, edge.id,
+          "no type with this label set");
+      continue;
+    }
+    type = candidates[0];
+    check_candidates(candidates, edge.properties, true, edge.id);
+
+    if (strict) {
+      // Endpoint check: the (src token, dst token) pair must be declared.
+      uint32_t src_token =
+          vocab.TokenForLabelSet(graph.node(edge.src).labels);
+      uint32_t dst_token =
+          vocab.TokenForLabelSet(graph.node(edge.dst).labels);
+      if (!type->endpoints.empty() &&
+          type->endpoints.count({src_token, dst_token}) == 0) {
+        add(ViolationKind::kEndpointMismatch, true, edge.id,
+            "endpoint pair not declared for this edge type");
+      }
+      out_targets[type][edge.src].insert(edge.dst);
+      in_sources[type][edge.dst].insert(edge.src);
+    }
+  }
+
+  // Cardinality bounds (STRICT): observed degrees must not exceed the
+  // schema's recorded upper bounds.
+  if (strict) {
+    for (const auto& [type, per_src] : out_targets) {
+      if (type->cardinality.kind == CardinalityKind::kUnknown) continue;
+      for (const auto& [src, targets] : per_src) {
+        if (targets.size() > type->cardinality.max_out) {
+          add(ViolationKind::kCardinalityExceeded, true, 0,
+              "source " + std::to_string(src) + " exceeds max_out " +
+                  std::to_string(type->cardinality.max_out));
+        }
+      }
+    }
+    for (const auto& [type, per_dst] : in_sources) {
+      if (type->cardinality.kind == CardinalityKind::kUnknown) continue;
+      for (const auto& [dst, sources] : per_dst) {
+        if (sources.size() > type->cardinality.max_in) {
+          add(ViolationKind::kCardinalityExceeded, true, 0,
+              "target " + std::to_string(dst) + " exceeds max_in " +
+                  std::to_string(type->cardinality.max_in));
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace pghive::core

@@ -1,0 +1,107 @@
+#include "core/vectorizer.h"
+
+#include <algorithm>
+
+namespace pghive::core {
+
+namespace {
+
+constexpr uint64_t kLabelTag = 1ULL << 40;
+constexpr uint64_t kSrcTag = 2ULL << 40;
+constexpr uint64_t kDstTag = 3ULL << 40;
+constexpr uint64_t kKeyTag = 4ULL << 40;
+
+}  // namespace
+
+uint64_t MinHashLabelElement(uint32_t token) { return kLabelTag | token; }
+uint64_t MinHashSrcElement(uint32_t token) { return kSrcTag | token; }
+uint64_t MinHashDstElement(uint32_t token) { return kDstTag | token; }
+uint64_t MinHashKeyElement(uint32_t key) { return kKeyTag | key; }
+
+Vectorizer::Vectorizer(pg::PropertyGraph* graph,
+                       const embed::LabelEmbedder* embedder)
+    : graph_(graph), embedder_(embedder) {}
+
+FeatureMatrix Vectorizer::NodeFeatures(const pg::GraphBatch& batch) {
+  pg::Vocabulary& vocab = graph_->vocab();
+  const size_t d = embedder_->dim();
+  const size_t k = vocab.num_keys();
+  FeatureMatrix m;
+  m.num = batch.node_ids.size();
+  m.dim = d + k;
+  m.data.assign(m.num * m.dim, 0.0f);
+  for (size_t i = 0; i < batch.node_ids.size(); ++i) {
+    const pg::Node& n = graph_->node(batch.node_ids[i]);
+    float* row = &m.data[i * m.dim];
+    pg::LabelSetToken token = vocab.TokenForLabelSet(n.labels);
+    embedder_->Embed(token, row);
+    for (const auto& [key, value] : n.properties.entries()) {
+      if (key < k) row[d + key] = 1.0f;
+    }
+  }
+  return m;
+}
+
+FeatureMatrix Vectorizer::EdgeFeatures(const pg::GraphBatch& batch) {
+  pg::Vocabulary& vocab = graph_->vocab();
+  const size_t d = embedder_->dim();
+  const size_t q = vocab.num_keys();
+  FeatureMatrix m;
+  m.num = batch.edge_ids.size();
+  m.dim = 3 * d + q;
+  m.data.assign(m.num * m.dim, 0.0f);
+  for (size_t i = 0; i < batch.edge_ids.size(); ++i) {
+    const pg::Edge& e = graph_->edge(batch.edge_ids[i]);
+    float* row = &m.data[i * m.dim];
+    pg::LabelSetToken et = vocab.TokenForLabelSet(e.labels);
+    pg::LabelSetToken st = vocab.TokenForLabelSet(graph_->node(e.src).labels);
+    pg::LabelSetToken tt = vocab.TokenForLabelSet(graph_->node(e.dst).labels);
+    embedder_->Embed(et, row);
+    embedder_->Embed(st, row + d);
+    embedder_->Embed(tt, row + 2 * d);
+    for (const auto& [key, value] : e.properties.entries()) {
+      if (key < q) row[3 * d + key] = 1.0f;
+    }
+  }
+  return m;
+}
+
+std::vector<std::vector<uint64_t>> Vectorizer::NodeSets(
+    const pg::GraphBatch& batch) {
+  pg::Vocabulary& vocab = graph_->vocab();
+  std::vector<std::vector<uint64_t>> sets(batch.node_ids.size());
+  for (size_t i = 0; i < batch.node_ids.size(); ++i) {
+    const pg::Node& n = graph_->node(batch.node_ids[i]);
+    auto& set = sets[i];
+    pg::LabelSetToken token = vocab.TokenForLabelSet(n.labels);
+    if (token != pg::kNoToken) set.push_back(MinHashLabelElement(token));
+    for (const auto& [key, value] : n.properties.entries()) {
+      set.push_back(MinHashKeyElement(key));
+    }
+    std::sort(set.begin(), set.end());
+  }
+  return sets;
+}
+
+std::vector<std::vector<uint64_t>> Vectorizer::EdgeSets(
+    const pg::GraphBatch& batch) {
+  pg::Vocabulary& vocab = graph_->vocab();
+  std::vector<std::vector<uint64_t>> sets(batch.edge_ids.size());
+  for (size_t i = 0; i < batch.edge_ids.size(); ++i) {
+    const pg::Edge& e = graph_->edge(batch.edge_ids[i]);
+    auto& set = sets[i];
+    pg::LabelSetToken et = vocab.TokenForLabelSet(e.labels);
+    pg::LabelSetToken st = vocab.TokenForLabelSet(graph_->node(e.src).labels);
+    pg::LabelSetToken tt = vocab.TokenForLabelSet(graph_->node(e.dst).labels);
+    if (et != pg::kNoToken) set.push_back(MinHashLabelElement(et));
+    if (st != pg::kNoToken) set.push_back(MinHashSrcElement(st));
+    if (tt != pg::kNoToken) set.push_back(MinHashDstElement(tt));
+    for (const auto& [key, value] : e.properties.entries()) {
+      set.push_back(MinHashKeyElement(key));
+    }
+    std::sort(set.begin(), set.end());
+  }
+  return sets;
+}
+
+}  // namespace pghive::core

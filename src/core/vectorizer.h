@@ -1,0 +1,63 @@
+#ifndef PGHIVE_CORE_VECTORIZER_H_
+#define PGHIVE_CORE_VECTORIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "embed/embedder.h"
+#include "pg/batch.h"
+#include "pg/graph.h"
+
+namespace pghive::core {
+
+/// A dense row-major feature matrix: `num` rows of `dim` floats.
+struct FeatureMatrix {
+  std::vector<float> data;
+  size_t num = 0;
+  size_t dim = 0;
+
+  const float* row(size_t i) const { return &data[i * dim]; }
+};
+
+/// Builds the hybrid representation vectors of §4.1.
+///
+/// Nodes:  f_v in R^{d+K}   = [ Word2Vec(labels) | binary property vector ]
+/// Edges:  f_e in R^{3d+Q}  = [ W2V(edge) | W2V(src) | W2V(dst) | binary ]
+///
+/// where K / Q are the numbers of distinct node / edge property keys in the
+/// vocabulary at vectorization time, and an absent label contributes a zero
+/// block. The binary block uses a global key-id -> column map shared by all
+/// rows of one call so identical patterns produce identical vectors.
+class Vectorizer {
+ public:
+  Vectorizer(pg::PropertyGraph* graph, const embed::LabelEmbedder* embedder);
+
+  /// Feature vectors for the batch's nodes (row i corresponds to
+  /// batch.node_ids[i]).
+  FeatureMatrix NodeFeatures(const pg::GraphBatch& batch);
+
+  /// Feature vectors for the batch's edges.
+  FeatureMatrix EdgeFeatures(const pg::GraphBatch& batch);
+
+  /// MinHash element sets for nodes: the label-set token plus property keys,
+  /// disambiguated into one uint64 universe.
+  std::vector<std::vector<uint64_t>> NodeSets(const pg::GraphBatch& batch);
+
+  /// MinHash element sets for edges: edge token, source token, target token,
+  /// plus edge property keys.
+  std::vector<std::vector<uint64_t>> EdgeSets(const pg::GraphBatch& batch);
+
+ private:
+  pg::PropertyGraph* graph_;
+  const embed::LabelEmbedder* embedder_;
+};
+
+/// Element-universe tags for MinHash sets (exposed for tests).
+uint64_t MinHashLabelElement(uint32_t token);
+uint64_t MinHashSrcElement(uint32_t token);
+uint64_t MinHashDstElement(uint32_t token);
+uint64_t MinHashKeyElement(uint32_t key);
+
+}  // namespace pghive::core
+
+#endif  // PGHIVE_CORE_VECTORIZER_H_

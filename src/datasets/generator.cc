@@ -1,0 +1,173 @@
+#include "datasets/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/status.h"
+
+namespace pghive::datasets {
+
+pg::Value GenerateValue(pg::DataType type, util::Rng* rng) {
+  switch (type) {
+    case pg::DataType::kInteger:
+      return pg::Value(static_cast<int64_t>(rng->NextBounded(1000000)));
+    case pg::DataType::kFloat:
+      return pg::Value(rng->NextDouble() * 1000.0 + 0.5);
+    case pg::DataType::kBoolean:
+      return pg::Value(rng->NextBool(0.5));
+    case pg::DataType::kDate: {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d",
+                    1970 + static_cast<int>(rng->NextBounded(55)),
+                    1 + static_cast<int>(rng->NextBounded(12)),
+                    1 + static_cast<int>(rng->NextBounded(28)));
+      return pg::Value(std::string(buf));
+    }
+    case pg::DataType::kDateTime: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d",
+                    1970 + static_cast<int>(rng->NextBounded(55)),
+                    1 + static_cast<int>(rng->NextBounded(12)),
+                    1 + static_cast<int>(rng->NextBounded(28)),
+                    static_cast<int>(rng->NextBounded(24)),
+                    static_cast<int>(rng->NextBounded(60)),
+                    static_cast<int>(rng->NextBounded(60)));
+      return pg::Value(std::string(buf));
+    }
+    case pg::DataType::kNull:
+    case pg::DataType::kString: {
+      static const char* kWords[] = {"alpha", "bravo",  "cedar", "delta",
+                                     "ember", "falcon", "grove", "harbor"};
+      std::string s = kWords[rng->NextBounded(8)];
+      s += '-';
+      s += kWords[rng->NextBounded(8)];
+      s += std::to_string(rng->NextBounded(100));
+      // A trailing letter guarantees the value never parses as a number.
+      s += 'x';
+      return pg::Value(s);
+    }
+  }
+  return pg::Value(std::string("value"));
+}
+
+namespace {
+
+void AttachProperties(pg::PropertyGraph* graph, bool is_node, uint64_t id,
+                      const std::vector<PropertySpec>& props,
+                      util::Rng* rng) {
+  for (const PropertySpec& spec : props) {
+    if (!rng->NextBool(spec.presence)) continue;
+    pg::DataType type = spec.type;
+    if (spec.mixed_rate > 0 && rng->NextBool(spec.mixed_rate)) {
+      type = spec.mixed_type;
+    }
+    pg::Value value = GenerateValue(type, rng);
+    if (is_node) {
+      graph->SetNodeProperty(id, spec.key, std::move(value));
+    } else {
+      graph->SetEdgeProperty(id, spec.key, std::move(value));
+    }
+  }
+}
+
+}  // namespace
+
+Dataset Generate(const DatasetSpec& spec, double scale, uint64_t seed) {
+  PGHIVE_CHECK(!spec.node_types.empty());
+  Dataset dataset;
+  dataset.spec = spec;
+  util::Rng rng(seed);
+
+  size_t total_nodes = std::max<size_t>(
+      spec.node_types.size(),
+      static_cast<size_t>(std::llround(
+          static_cast<double>(spec.default_nodes) * std::max(0.01, scale))));
+
+  // Allocate node counts proportional to weights (every type gets >= 1).
+  double weight_sum = 0;
+  for (const auto& t : spec.node_types) weight_sum += std::max(1e-9, t.weight);
+  std::vector<size_t> counts(spec.node_types.size());
+  size_t allocated = 0;
+  for (size_t t = 0; t < spec.node_types.size(); ++t) {
+    counts[t] = std::max<size_t>(
+        1, static_cast<size_t>(std::llround(
+               total_nodes * std::max(1e-9, spec.node_types[t].weight) /
+               weight_sum)));
+    allocated += counts[t];
+  }
+  // Adjust the largest type to land close to the target.
+  if (allocated > total_nodes) {
+    size_t overshoot = allocated - total_nodes;
+    size_t biggest = 0;
+    for (size_t t = 1; t < counts.size(); ++t) {
+      if (counts[t] > counts[biggest]) biggest = t;
+    }
+    counts[biggest] -= std::min(counts[biggest] - 1, overshoot);
+  }
+
+  // Generate nodes, grouped by type; remember per-type id ranges.
+  std::vector<std::vector<pg::NodeId>> nodes_of_type(spec.node_types.size());
+  for (size_t t = 0; t < spec.node_types.size(); ++t) {
+    const NodeTypeSpec& nt = spec.node_types[t];
+    for (size_t i = 0; i < counts[t]; ++i) {
+      pg::NodeId id = dataset.graph.AddNode(nt.labels);
+      AttachProperties(&dataset.graph, true, id, nt.properties, &rng);
+      dataset.truth.node_type.push_back(static_cast<uint32_t>(t));
+      nodes_of_type[t].push_back(id);
+    }
+  }
+
+  // Generate edges per edge-type spec.
+  for (size_t t = 0; t < spec.edge_types.size(); ++t) {
+    const EdgeTypeSpec& et = spec.edge_types[t];
+    PGHIVE_CHECK(et.src_type < spec.node_types.size());
+    PGHIVE_CHECK(et.dst_type < spec.node_types.size());
+    const auto& srcs = nodes_of_type[et.src_type];
+    const auto& dsts = nodes_of_type[et.dst_type];
+    if (srcs.empty() || dsts.empty()) continue;
+    auto add_edge = [&](pg::NodeId s, pg::NodeId d) {
+      pg::EdgeId id = dataset.graph.AddEdge(s, d, et.labels);
+      AttachProperties(&dataset.graph, false, id, et.properties, &rng);
+      dataset.truth.edge_type.push_back(static_cast<uint32_t>(t));
+    };
+    switch (et.cardinality) {
+      case EdgeCard::kOneToOne: {
+        size_t n = std::min(srcs.size(), dsts.size());
+        n = static_cast<size_t>(n * std::clamp(et.fan, 0.05, 1.0));
+        for (size_t i = 0; i < n; ++i) add_edge(srcs[i], dsts[i]);
+        break;
+      }
+      case EdgeCard::kManyToOne: {
+        // Every covered source points at exactly one (shared) target.
+        size_t n = static_cast<size_t>(srcs.size() *
+                                       std::clamp(et.fan, 0.05, 1.0));
+        for (size_t i = 0; i < n; ++i) {
+          add_edge(srcs[i], dsts[rng.NextBounded(dsts.size())]);
+        }
+        break;
+      }
+      case EdgeCard::kOneToMany: {
+        size_t n = static_cast<size_t>(dsts.size() *
+                                       std::clamp(et.fan, 0.05, 1.0));
+        for (size_t i = 0; i < n; ++i) {
+          add_edge(srcs[rng.NextBounded(srcs.size())], dsts[i]);
+        }
+        break;
+      }
+      case EdgeCard::kManyToMany: {
+        for (pg::NodeId s : srcs) {
+          int degree = rng.NextPoisson(std::max(0.0, et.fan));
+          for (int e = 0; e < degree; ++e) {
+            add_edge(s, dsts[rng.NextBounded(dsts.size())]);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  return dataset;
+}
+
+}  // namespace pghive::datasets

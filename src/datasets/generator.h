@@ -1,0 +1,38 @@
+#ifndef PGHIVE_DATASETS_GENERATOR_H_
+#define PGHIVE_DATASETS_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datasets/spec.h"
+#include "pg/graph.h"
+#include "util/rng.h"
+
+namespace pghive::datasets {
+
+/// Ground-truth type assignments produced alongside a generated graph.
+struct GroundTruth {
+  std::vector<uint32_t> node_type;  ///< node id -> NodeTypeSpec index.
+  std::vector<uint32_t> edge_type;  ///< edge id -> EdgeTypeSpec index.
+};
+
+/// A generated dataset: the property graph plus its ground truth and the
+/// spec that produced it.
+struct Dataset {
+  DatasetSpec spec;
+  pg::PropertyGraph graph;
+  GroundTruth truth;
+};
+
+/// Generates a dataset from a spec. `scale` multiplies spec.default_nodes;
+/// the generator is fully deterministic in `seed`.
+Dataset Generate(const DatasetSpec& spec, double scale, uint64_t seed);
+
+/// Generates one property value of the given declared type. Dates, numbers
+/// and strings are drawn from realistic ranges so datatype inference has
+/// real work to do. Exposed for tests.
+pg::Value GenerateValue(pg::DataType type, util::Rng* rng);
+
+}  // namespace pghive::datasets
+
+#endif  // PGHIVE_DATASETS_GENERATOR_H_

@@ -1,0 +1,32 @@
+#include "datasets/noise.h"
+
+#include "util/rng.h"
+
+namespace pghive::datasets {
+
+void InjectNoise(pg::PropertyGraph* graph, const NoiseConfig& config) {
+  util::Rng rng(config.seed);
+  auto degrade_properties = [&](pg::PropertyMap* props) {
+    if (config.property_removal <= 0) return;
+    auto keys = props->Keys();
+    for (pg::PropKeyId key : keys) {
+      if (rng.NextBool(config.property_removal)) props->Erase(key);
+    }
+  };
+  for (pg::Node& node : graph->mutable_nodes()) {
+    degrade_properties(&node.properties);
+    if (config.label_availability < 1.0 &&
+        !rng.NextBool(config.label_availability)) {
+      node.labels.clear();
+    }
+  }
+  for (pg::Edge& edge : graph->mutable_edges()) {
+    degrade_properties(&edge.properties);
+    if (config.label_availability < 1.0 &&
+        !rng.NextBool(config.label_availability)) {
+      edge.labels.clear();
+    }
+  }
+}
+
+}  // namespace pghive::datasets

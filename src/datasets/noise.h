@@ -1,0 +1,29 @@
+#ifndef PGHIVE_DATASETS_NOISE_H_
+#define PGHIVE_DATASETS_NOISE_H_
+
+#include <cstdint>
+
+#include "pg/graph.h"
+
+namespace pghive::datasets {
+
+/// The paper's noise model (§5): randomly remove a fraction of node/edge
+/// properties, and retain labels on only a fraction of elements.
+struct NoiseConfig {
+  /// Probability that any individual property instance is deleted (0-0.4 in
+  /// the paper's grid).
+  double property_removal = 0.0;
+  /// Probability that an element *keeps* its labels (1.0, 0.5, 0.0 in the
+  /// paper's three label-availability scenarios). Elements losing labels
+  /// lose all of them.
+  double label_availability = 1.0;
+  uint64_t seed = 99;
+};
+
+/// Applies the noise model in place. Ground truth is unaffected — noise only
+/// obscures the observable structure.
+void InjectNoise(pg::PropertyGraph* graph, const NoiseConfig& config);
+
+}  // namespace pghive::datasets
+
+#endif  // PGHIVE_DATASETS_NOISE_H_

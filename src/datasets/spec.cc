@@ -1,0 +1,39 @@
+#include "datasets/spec.h"
+
+#include <set>
+
+namespace pghive::datasets {
+
+size_t DatasetSpec::num_node_labels() const {
+  std::set<std::string> labels;
+  for (const auto& t : node_types) {
+    labels.insert(t.labels.begin(), t.labels.end());
+  }
+  return labels.size();
+}
+
+size_t DatasetSpec::num_edge_labels() const {
+  std::set<std::string> labels;
+  for (const auto& t : edge_types) {
+    labels.insert(t.labels.begin(), t.labels.end());
+  }
+  return labels.size();
+}
+
+PropertySpec Prop(std::string key, pg::DataType type, double presence) {
+  PropertySpec p;
+  p.key = std::move(key);
+  p.type = type;
+  p.presence = presence;
+  return p;
+}
+
+PropertySpec MixedProp(std::string key, pg::DataType type, double presence,
+                       double mixed_rate, pg::DataType mixed_type) {
+  PropertySpec p = Prop(std::move(key), type, presence);
+  p.mixed_rate = mixed_rate;
+  p.mixed_type = mixed_type;
+  return p;
+}
+
+}  // namespace pghive::datasets

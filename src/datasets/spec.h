@@ -1,0 +1,82 @@
+#ifndef PGHIVE_DATASETS_SPEC_H_
+#define PGHIVE_DATASETS_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pg/value.h"
+
+namespace pghive::datasets {
+
+/// Edge multiplicity classes used by the generator (mirrors the cardinality
+/// classes PG-HIVE infers, so ground truth is known).
+enum class EdgeCard {
+  kOneToOne,
+  kManyToOne,   // Every source has one target; targets are shared.
+  kOneToMany,   // Every target has one source; sources fan out.
+  kManyToMany,  // Poisson out-degree.
+};
+
+/// One property of a generated type.
+struct PropertySpec {
+  std::string key;
+  pg::DataType type = pg::DataType::kString;
+  /// Probability the property is present on an instance (optional props
+  /// create the pattern multiplicity of Table 2).
+  double presence = 1.0;
+  /// Fraction of values generated with `mixed_type` instead of `type`
+  /// (drives the datatype sampling-error distribution of Fig. 8: a small
+  /// minority of off-type values promotes the full-scan join).
+  double mixed_rate = 0.0;
+  pg::DataType mixed_type = pg::DataType::kString;
+};
+
+/// One ground-truth node type.
+struct NodeTypeSpec {
+  std::string name;
+  std::vector<std::string> labels;  ///< The type's label set (Def. 3.2).
+  std::vector<PropertySpec> properties;
+  double weight = 1.0;  ///< Relative share of instances.
+};
+
+/// One ground-truth edge type.
+struct EdgeTypeSpec {
+  std::string name;
+  std::vector<std::string> labels;
+  uint32_t src_type = 0;  ///< Index into DatasetSpec::node_types.
+  uint32_t dst_type = 0;
+  std::vector<PropertySpec> properties;
+  EdgeCard cardinality = EdgeCard::kManyToMany;
+  /// Mean out-degree for kManyToMany; otherwise coverage fraction of the
+  /// driving side.
+  double fan = 1.5;
+};
+
+/// A full synthetic dataset description: the schema shape of one of the
+/// paper's eight evaluation datasets (Table 2) at laptop scale.
+struct DatasetSpec {
+  std::string name;
+  bool real = false;        ///< The paper's R/S marker.
+  size_t default_nodes = 4000;
+  size_t paper_nodes = 0;   ///< Nominal size from Table 2 (documentation).
+  size_t paper_edges = 0;
+  std::vector<NodeTypeSpec> node_types;
+  std::vector<EdgeTypeSpec> edge_types;
+
+  size_t num_node_types() const { return node_types.size(); }
+  size_t num_edge_types() const { return edge_types.size(); }
+
+  /// Distinct labels across node / edge types.
+  size_t num_node_labels() const;
+  size_t num_edge_labels() const;
+};
+
+/// Convenience builders used by the zoo.
+PropertySpec Prop(std::string key, pg::DataType type, double presence = 1.0);
+PropertySpec MixedProp(std::string key, pg::DataType type, double presence,
+                       double mixed_rate, pg::DataType mixed_type);
+
+}  // namespace pghive::datasets
+
+#endif  // PGHIVE_DATASETS_SPEC_H_

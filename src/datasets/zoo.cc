@@ -1,0 +1,636 @@
+#include "datasets/zoo.h"
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace pghive::datasets {
+
+namespace {
+
+using pg::DataType;
+
+NodeTypeSpec NodeT(std::string name, std::vector<std::string> labels,
+                   std::vector<PropertySpec> props, double weight = 1.0) {
+  NodeTypeSpec t;
+  t.name = std::move(name);
+  t.labels = std::move(labels);
+  t.properties = std::move(props);
+  t.weight = weight;
+  return t;
+}
+
+EdgeTypeSpec EdgeT(std::string name, std::vector<std::string> labels,
+                   uint32_t src, uint32_t dst, EdgeCard card, double fan,
+                   std::vector<PropertySpec> props = {}) {
+  EdgeTypeSpec t;
+  t.name = std::move(name);
+  t.labels = std::move(labels);
+  t.src_type = src;
+  t.dst_type = dst;
+  t.cardinality = card;
+  t.fan = fan;
+  t.properties = std::move(props);
+  return t;
+}
+
+}  // namespace
+
+DatasetSpec PoleSpec() {
+  // POLE (Person-Object-Location-Event): small, flat, fully single-labeled.
+  // Table 2: 61,521 nodes / 105,840 edges, 11 node types, 17 edge types,
+  // 11 node labels, 16 edge labels, 17 node patterns, 16 edge patterns.
+  DatasetSpec s;
+  s.name = "POLE";
+  s.real = false;
+  s.default_nodes = 2500;
+  s.paper_nodes = 61521;
+  s.paper_edges = 105840;
+  s.node_types = {
+      NodeT("Person", {"Person"},
+            {Prop("name", DataType::kString), Prop("surname", DataType::kString),
+             Prop("nhs_no", DataType::kString),
+             Prop("age", DataType::kInteger, 0.8)},
+            3.0),
+      NodeT("Officer", {"Officer"},
+            {Prop("badge_no", DataType::kString), Prop("rank", DataType::kString),
+             Prop("name", DataType::kString)},
+            0.6),
+      NodeT("Crime", {"Crime"},
+            {Prop("crime_type", DataType::kString), Prop("date", DataType::kDate),
+             Prop("charge", DataType::kString),
+             Prop("last_outcome", DataType::kString, 0.7)},
+            2.0),
+      NodeT("Location", {"Location"},
+            {Prop("address", DataType::kString), Prop("postcode", DataType::kString),
+             Prop("latitude", DataType::kFloat), Prop("longitude", DataType::kFloat)},
+            2.0),
+      NodeT("Phone", {"Phone"}, {Prop("phoneNo", DataType::kString)}, 1.0),
+      NodeT("PhoneCall", {"PhoneCall"},
+            {Prop("call_date", DataType::kDate),
+             Prop("call_duration", DataType::kInteger),
+             Prop("call_time", DataType::kString),
+             Prop("call_type", DataType::kString)},
+            2.0),
+      NodeT("Email", {"Email"}, {Prop("email_address", DataType::kString)}, 0.6),
+      NodeT("Vehicle", {"Vehicle"},
+            {Prop("make", DataType::kString), Prop("model", DataType::kString),
+             Prop("reg", DataType::kString), Prop("year", DataType::kInteger, 0.6)},
+            0.8),
+      NodeT("Area", {"Area"}, {Prop("areaCode", DataType::kString)}, 0.3),
+      NodeT("PostCode", {"PostCode"}, {Prop("code", DataType::kString)}, 0.8),
+      NodeT("Object", {"Object"},
+            {Prop("description", DataType::kString),
+             Prop("object_type", DataType::kString, 0.5)},
+            0.5),
+  };
+  s.edge_types = {
+      EdgeT("KNOWS", {"KNOWS"}, 0, 0, EdgeCard::kManyToMany, 1.2),
+      EdgeT("KNOWS_LW", {"KNOWS_LW"}, 0, 0, EdgeCard::kManyToMany, 0.6),
+      EdgeT("FAMILY_REL", {"FAMILY_REL"}, 0, 0, EdgeCard::kManyToMany, 0.5,
+            {Prop("rel_type", DataType::kString)}),
+      EdgeT("KNOWS_PHONE", {"KNOWS_PHONE"}, 0, 4, EdgeCard::kManyToOne, 0.7),
+      EdgeT("PARTY_TO", {"PARTY_TO"}, 0, 2, EdgeCard::kManyToMany, 0.8),
+      EdgeT("INVESTIGATED_BY", {"INVESTIGATED_BY"}, 2, 1, EdgeCard::kManyToOne,
+            0.9),
+      EdgeT("OCCURRED_AT", {"OCCURRED_AT"}, 2, 3, EdgeCard::kManyToOne, 1.0),
+      EdgeT("CURRENT_ADDRESS", {"CURRENT_ADDRESS"}, 0, 3, EdgeCard::kManyToOne,
+            0.95),
+      EdgeT("HAS_PHONE", {"HAS_PHONE"}, 0, 4, EdgeCard::kOneToOne, 0.8),
+      EdgeT("HAS_EMAIL", {"HAS_EMAIL"}, 0, 6, EdgeCard::kOneToOne, 0.5),
+      EdgeT("CALLER", {"CALLER"}, 5, 4, EdgeCard::kManyToOne, 1.0),
+      EdgeT("CALLED", {"CALLED"}, 5, 4, EdgeCard::kManyToOne, 1.0),
+      EdgeT("INVOLVED_IN", {"INVOLVED_IN"}, 7, 2, EdgeCard::kManyToMany, 0.4),
+      EdgeT("LOCATION_IN_AREA", {"LOCATION_IN_AREA"}, 3, 8,
+            EdgeCard::kManyToOne, 0.9),
+      EdgeT("HAS_POSTCODE", {"HAS_POSTCODE"}, 3, 9, EdgeCard::kManyToOne, 0.9),
+      EdgeT("POSTCODE_IN_AREA", {"POSTCODE_IN_AREA"}, 9, 8,
+            EdgeCard::kManyToOne, 0.9),
+      // 17 edge types from 16 labels: INVOLVED_IN is reused with different
+      // endpoints (object vs person involvement).
+      EdgeT("INVOLVED_IN_P", {"INVOLVED_IN"}, 0, 2, EdgeCard::kManyToMany,
+            0.3),
+  };
+  return s;
+}
+
+namespace {
+
+// Shared skeleton for the two connectome datasets (MB6 / FIB25): few types,
+// heavy multi-labeling, and many optional numeric properties creating large
+// pattern counts.
+DatasetSpec ConnectomeSpec(std::string name, size_t paper_nodes,
+                           size_t paper_edges, double optional_presence,
+                           size_t extra_optionals) {
+  DatasetSpec s;
+  s.name = std::move(name);
+  s.real = false;
+  s.default_nodes = 4000;
+  s.paper_nodes = paper_nodes;
+  s.paper_edges = paper_edges;
+
+  std::vector<PropertySpec> neuron_props = {
+      Prop("bodyId", DataType::kInteger),
+      Prop("status", DataType::kString, 0.9),
+      Prop("pre", DataType::kInteger, optional_presence),
+      Prop("post", DataType::kInteger, optional_presence),
+      Prop("size", DataType::kInteger, 0.7),
+  };
+  for (size_t i = 0; i < extra_optionals; ++i) {
+    neuron_props.push_back(
+        Prop("roiInfo" + std::to_string(i), DataType::kFloat, 0.45));
+  }
+  s.node_types = {
+      // 4 types over 10 labels: label sets overlap heavily, which is what
+      // breaks per-label baselines.
+      NodeT("Neuron", {"Neuron", "Cell", "Traced", "Named"}, neuron_props,
+            3.0),
+      NodeT("Segment", {"Segment", "Cell", "Fragment"},
+            {Prop("bodyId", DataType::kInteger),
+             Prop("size", DataType::kInteger, 0.8),
+             Prop("quality", DataType::kFloat, 0.5)},
+            2.0),
+      NodeT("Synapse", {"Synapse", "Element", "PreSyn"},
+            {Prop("location", DataType::kString),
+             Prop("confidence", DataType::kFloat),
+             Prop("synType", DataType::kString, 0.6)},
+            4.0),
+      NodeT("Meta", {"Meta"},
+            {Prop("dataset", DataType::kString),
+             Prop("lastDatabaseEdit", DataType::kDateTime)},
+            0.05),
+  };
+  s.edge_types = {
+      EdgeT("ConnectsTo_NN", {"ConnectsTo"}, 0, 0, EdgeCard::kManyToMany, 2.0,
+            {Prop("weight", DataType::kInteger)}),
+      EdgeT("ConnectsTo_NS", {"ConnectsTo"}, 0, 1, EdgeCard::kManyToMany, 0.8,
+            {Prop("weight", DataType::kInteger, 0.8)}),
+      EdgeT("SynapsesTo", {"SynapsesTo"}, 2, 2, EdgeCard::kManyToMany, 1.0),
+      // 5 edge types over 3 labels: "From" is reused with both endpoint
+      // orientations (Table 2 reports 3 edge labels for the connectomes).
+      EdgeT("From_NS", {"From"}, 0, 2, EdgeCard::kOneToMany, 0.9),
+      EdgeT("From_SN", {"From"}, 2, 0, EdgeCard::kManyToOne, 0.5),
+  };
+  return s;
+}
+
+}  // namespace
+
+DatasetSpec Mb6Spec() {
+  // MB6 mushroom body connectome. Table 2: 486,267 / 961,571, 4 node types,
+  // 5 edge types, 10/3 labels, 52/4 patterns.
+  return ConnectomeSpec("MB6", 486267, 961571, 0.6, 3);
+}
+
+DatasetSpec Fib25Spec() {
+  // FIB25 medulla connectome. Table 2: 802,473 / 1,625,428, same type
+  // structure, 31 node patterns.
+  return ConnectomeSpec("FIB25", 802473, 1625428, 0.7, 2);
+}
+
+DatasetSpec HetioSpec() {
+  // HET.IO biomedical graph. Table 2: 47,031 / 2,250,197 (dense), 11 node
+  // types, 24 edge types, 12 node labels (every node carries the extra
+  // integration label "HetionetNode"), 24 edge labels.
+  DatasetSpec s;
+  s.name = "HET.IO";
+  s.real = true;
+  s.default_nodes = 2500;
+  s.paper_nodes = 47031;
+  s.paper_edges = 2250197;
+  auto base = [&](std::string label) {
+    return std::vector<std::string>{std::move(label), "HetionetNode"};
+  };
+  s.node_types = {
+      NodeT("Gene", base("Gene"),
+            {Prop("identifier", DataType::kInteger),
+             Prop("name", DataType::kString),
+             Prop("chromosome", DataType::kString, 0.9)},
+            4.0),
+      NodeT("Disease", base("Disease"),
+            {Prop("identifier", DataType::kString),
+             Prop("name", DataType::kString)},
+            0.5),
+      NodeT("Compound", base("Compound"),
+            {Prop("identifier", DataType::kString),
+             Prop("name", DataType::kString),
+             Prop("inchikey", DataType::kString, 0.95)},
+            1.0),
+      NodeT("Anatomy", base("Anatomy"),
+            {Prop("identifier", DataType::kString),
+             Prop("name", DataType::kString), Prop("bto_id", DataType::kString, 0.4)},
+            0.4),
+      NodeT("BiologicalProcess", base("BiologicalProcess"),
+            {Prop("identifier", DataType::kString),
+             Prop("name", DataType::kString)},
+            2.0),
+      NodeT("CellularComponent", base("CellularComponent"),
+            {Prop("identifier", DataType::kString),
+             Prop("name", DataType::kString)},
+            0.5),
+      NodeT("MolecularFunction", base("MolecularFunction"),
+            {Prop("identifier", DataType::kString),
+             Prop("name", DataType::kString)},
+            0.8),
+      NodeT("Pathway", base("Pathway"),
+            {Prop("identifier", DataType::kString),
+             Prop("name", DataType::kString)},
+            0.5),
+      NodeT("PharmacologicClass", base("PharmacologicClass"),
+            {Prop("identifier", DataType::kString),
+             Prop("name", DataType::kString),
+             Prop("class_type", DataType::kString)},
+            0.2),
+      NodeT("SideEffect", base("SideEffect"),
+            {Prop("identifier", DataType::kString),
+             Prop("name", DataType::kString)},
+            1.0),
+      NodeT("Symptom", base("Symptom"),
+            {Prop("identifier", DataType::kString),
+             Prop("name", DataType::kString)},
+            0.3),
+  };
+  // 24 edge types, 24 labels, dense M:N biology relations.
+  struct Rel {
+    const char* label;
+    uint32_t src, dst;
+    double fan;
+  };
+  const Rel rels[] = {
+      {"INTERACTS_GiG", 0, 0, 1.5},    {"REGULATES_GrG", 0, 0, 1.2},
+      {"COVARIES_GcG", 0, 0, 0.8},     {"ASSOCIATES_DaG", 1, 0, 6.0},
+      {"UPREGULATES_DuG", 1, 0, 4.0},  {"DOWNREGULATES_DdG", 1, 0, 4.0},
+      {"TREATS_CtD", 2, 1, 1.0},       {"PALLIATES_CpD", 2, 1, 0.6},
+      {"BINDS_CbG", 2, 0, 2.5},        {"UPREGULATES_CuG", 2, 0, 2.0},
+      {"DOWNREGULATES_CdG", 2, 0, 2.0},{"RESEMBLES_CrC", 2, 2, 1.0},
+      {"EXPRESSES_AeG", 3, 0, 8.0},    {"UPREGULATES_AuG", 3, 0, 3.0},
+      {"DOWNREGULATES_AdG", 3, 0, 3.0},{"LOCALIZES_DlA", 1, 3, 2.0},
+      {"PARTICIPATES_GpBP", 0, 4, 2.5},{"PARTICIPATES_GpCC", 0, 5, 1.5},
+      {"PARTICIPATES_GpMF", 0, 6, 1.5},{"PARTICIPATES_GpPW", 0, 7, 1.0},
+      {"INCLUDES_PCiC", 8, 2, 1.5},    {"CAUSES_CcSE", 2, 9, 4.0},
+      {"PRESENTS_DpS", 1, 10, 2.0},    {"RESEMBLES_DrD", 1, 1, 1.0},
+  };
+  for (const Rel& r : rels) {
+    // Hetionet metaedges share the integration metadata properties
+    // {source, unbiased}; identical key sets across semantically distinct
+    // relations are exactly what defeats structure-keyed baselines.
+    s.edge_types.push_back(EdgeT(
+        r.label, {r.label}, r.src, r.dst, EdgeCard::kManyToMany, r.fan,
+        {Prop("source", DataType::kString, 0.9),
+         Prop("unbiased", DataType::kBoolean, 0.95)}));
+  }
+  return s;
+}
+
+DatasetSpec IcijSpec() {
+  // ICIJ offshore leaks. Table 2: 2,016,523 / 3,339,267, 5 node types,
+  // 14 edge types, 6/14 labels, 208 node patterns (heavy heterogeneity from
+  // integrating multiple leaks), 42 edge patterns.
+  DatasetSpec s;
+  s.name = "ICIJ";
+  s.real = true;
+  s.default_nodes = 6000;
+  s.paper_nodes = 2016523;
+  s.paper_edges = 3339267;
+  // Many low-presence properties -> hundreds of distinct patterns. A few
+  // properties carry mixed value types (integrated sources disagree), which
+  // feeds the Fig. 8 outliers.
+  s.node_types = {
+      NodeT("Entity", {"Entity", "Offshore"},
+            {Prop("name", DataType::kString),
+             Prop("jurisdiction", DataType::kString, 0.8),
+             Prop("incorporation_date", DataType::kDate, 0.6),
+             Prop("inactivation_date", DataType::kDate, 0.3),
+             Prop("struck_off_date", DataType::kDate, 0.25),
+             MixedProp("ibcRUC", DataType::kInteger, 0.5, 0.08,
+                       DataType::kString),
+             Prop("status", DataType::kString, 0.7),
+             Prop("service_provider", DataType::kString, 0.4),
+             Prop("original_name", DataType::kString, 0.35)},
+            3.0),
+      NodeT("Officer", {"Officer"},
+            {Prop("name", DataType::kString),
+             Prop("country", DataType::kString, 0.6),
+             MixedProp("icij_id", DataType::kString, 0.8, 0.1,
+                       DataType::kInteger),
+             Prop("valid_until", DataType::kDate, 0.4)},
+            2.5),
+      NodeT("Intermediary", {"Intermediary"},
+            {Prop("name", DataType::kString),
+             Prop("address", DataType::kString, 0.5),
+             Prop("country", DataType::kString, 0.7),
+             Prop("status", DataType::kString, 0.5)},
+            0.8),
+      NodeT("Address", {"Address"},
+            {Prop("address", DataType::kString),
+             Prop("country_codes", DataType::kString, 0.85),
+             MixedProp("postcode", DataType::kString, 0.4, 0.25,
+                       DataType::kInteger)},
+            2.0),
+      NodeT("Other", {"Other"},
+            {Prop("name", DataType::kString),
+             Prop("note", DataType::kString, 0.3),
+             Prop("closed_date", DataType::kDate, 0.2)},
+            0.4),
+  };
+  s.edge_types = {
+      EdgeT("OFFICER_OF", {"officer_of"}, 1, 0, EdgeCard::kManyToMany, 1.2,
+            {Prop("link", DataType::kString, 0.7),
+             Prop("start_date", DataType::kDate, 0.3)}),
+      EdgeT("INTERMEDIARY_OF", {"intermediary_of"}, 2, 0,
+            EdgeCard::kOneToMany, 0.8),
+      EdgeT("REGISTERED_ADDRESS_E", {"registered_address"}, 0, 3,
+            EdgeCard::kManyToOne, 0.8),
+      EdgeT("REGISTERED_ADDRESS_O", {"registered_address"}, 1, 3,
+            EdgeCard::kManyToOne, 0.5),
+      EdgeT("SIMILAR", {"similar"}, 0, 0, EdgeCard::kManyToMany, 0.3),
+      EdgeT("SAME_NAME_AS", {"same_name_as"}, 0, 0, EdgeCard::kManyToMany,
+            0.2),
+      EdgeT("SAME_ID_AS", {"same_id_as"}, 1, 1, EdgeCard::kManyToMany, 0.15),
+      EdgeT("PROBABLY_SAME_OFFICER", {"probably_same_officer_as"}, 1, 1,
+            EdgeCard::kManyToMany, 0.2),
+      EdgeT("UNDERLYING", {"underlying"}, 2, 4, EdgeCard::kManyToMany, 0.3),
+      EdgeT("CONNECTED_TO", {"connected_to"}, 4, 0, EdgeCard::kManyToMany,
+            0.4),
+      EdgeT("SHAREHOLDER_OF", {"shareholder_of"}, 1, 0, EdgeCard::kManyToMany,
+            0.5, {Prop("shares", DataType::kString, 0.5)}),
+      EdgeT("DIRECTOR_OF", {"director_of"}, 1, 0, EdgeCard::kManyToMany, 0.4),
+      EdgeT("BENEFICIARY_OF", {"beneficiary_of"}, 1, 0, EdgeCard::kManyToMany,
+            0.3),
+      EdgeT("SECRETARY_OF", {"secretary_of"}, 1, 0, EdgeCard::kManyToMany,
+            0.2),
+  };
+  return s;
+}
+
+DatasetSpec Cord19Spec() {
+  // CORD19 COVID knowledge graph. Table 2: 5,485,296 / 5,720,776, 16 node
+  // types, 16 edge types, 16/16 labels, 89 node patterns.
+  DatasetSpec s;
+  s.name = "CORD19";
+  s.real = true;
+  s.default_nodes = 6000;
+  s.paper_nodes = 5485296;
+  s.paper_edges = 5720776;
+  struct T {
+    const char* label;
+    double weight;
+  };
+  const T types[] = {{"Paper", 3.0},       {"Author", 4.0},
+                     {"Affiliation", 1.0}, {"Abstract", 2.5},
+                     {"BodyText", 3.0},    {"Citation", 2.0},
+                     {"Journal", 0.3},     {"Gene", 1.0},
+                     {"Protein", 0.8},     {"Disease", 0.4},
+                     {"Pathway", 0.3},     {"Drug", 0.5},
+                     {"ClinicalTrial", 0.3}, {"Patent", 0.2},
+                     {"GeneSymbol", 0.8},  {"Fragment", 1.5}};
+  int i = 0;
+  for (const T& t : types) {
+    static const char* kDistinct[16] = {
+        "doi",      "orcid",    "grid_id",  "text",  "section", "ref_id",
+        "issn",     "entrez",   "uniprot",  "mesh",  "kegg",    "drugbank",
+        "nct_id",   "patent_no","hgnc",     "offset"};
+    std::vector<PropertySpec> props = {Prop("id", DataType::kString),
+                                       Prop("name", DataType::kString, 0.9),
+                                       Prop(kDistinct[i], DataType::kString,
+                                            0.95)};
+    // Every other type gets extra optional fields; some carry mixed-typed
+    // values from the heterogeneous ingest (Fig. 8 mid-bins).
+    if (i % 2 == 0) {
+      props.push_back(Prop("source", DataType::kString, 0.6));
+      props.push_back(MixedProp("year", DataType::kInteger, 0.7, 0.12,
+                                DataType::kFloat));
+    }
+    if (i % 3 == 0) {
+      props.push_back(Prop("created", DataType::kDateTime, 0.5));
+      props.push_back(MixedProp("score", DataType::kFloat, 0.4, 0.15,
+                                DataType::kInteger));
+    }
+    s.node_types.push_back(NodeT(t.label, {t.label}, std::move(props),
+                                 t.weight));
+    ++i;
+  }
+  struct R {
+    const char* label;
+    uint32_t src, dst;
+    EdgeCard card;
+    double fan;
+  };
+  const R rels[] = {
+      {"WROTE", 1, 0, EdgeCard::kManyToMany, 1.5},
+      {"AFFILIATED_WITH", 1, 2, EdgeCard::kManyToOne, 0.8},
+      {"HAS_ABSTRACT", 0, 3, EdgeCard::kOneToOne, 0.9},
+      {"HAS_BODY", 0, 4, EdgeCard::kOneToMany, 0.9},
+      {"CITES", 0, 5, EdgeCard::kManyToMany, 1.2},
+      {"PUBLISHED_IN", 0, 6, EdgeCard::kManyToOne, 0.9},
+      {"MENTIONS_GENE", 4, 7, EdgeCard::kManyToMany, 0.5},
+      {"MENTIONS_PROTEIN", 4, 8, EdgeCard::kManyToMany, 0.4},
+      {"MENTIONS_DISEASE", 4, 9, EdgeCard::kManyToMany, 0.4},
+      {"IN_PATHWAY", 7, 10, EdgeCard::kManyToMany, 0.5},
+      {"TARGETS", 11, 8, EdgeCard::kManyToMany, 0.6},
+      {"TRIAL_FOR", 12, 11, EdgeCard::kManyToOne, 0.7},
+      {"PATENT_ON", 13, 11, EdgeCard::kManyToMany, 0.4},
+      {"HAS_SYMBOL", 7, 14, EdgeCard::kOneToOne, 0.9},
+      {"HAS_FRAGMENT", 3, 15, EdgeCard::kOneToMany, 0.6},
+      {"CODES_FOR", 7, 8, EdgeCard::kManyToMany, 0.5},
+  };
+  int e = 0;
+  for (const R& r : rels) {
+    // Mined relations carry shared extraction metadata (confidence scores),
+    // so many distinct relations expose identical property-key sets.
+    std::vector<PropertySpec> eprops;
+    if (e % 2 == 0) {
+      eprops.push_back(Prop("confidence", DataType::kFloat, 0.8));
+    }
+    s.edge_types.push_back(
+        EdgeT(r.label, {r.label}, r.src, r.dst, r.card, r.fan,
+              std::move(eprops)));
+    ++e;
+  }
+  return s;
+}
+
+DatasetSpec LdbcSpec() {
+  // LDBC SNB. Table 2: 3,181,724 / 12,505,476, 7 node types, 17 edge types,
+  // 8/15 labels, 9 node patterns (regular structure).
+  DatasetSpec s;
+  s.name = "LDBC";
+  s.real = false;
+  s.default_nodes = 8000;
+  s.paper_nodes = 3181724;
+  s.paper_edges = 12505476;
+  s.node_types = {
+      NodeT("Person", {"Person"},
+            {Prop("firstName", DataType::kString),
+             Prop("lastName", DataType::kString),
+             Prop("birthday", DataType::kDate),
+             Prop("gender", DataType::kString),
+             Prop("creationDate", DataType::kDateTime),
+             Prop("browserUsed", DataType::kString, 0.95)},
+            2.0),
+      // Post and Comment both carry the shared "Message" label (8 labels
+      // over 7 types).
+      NodeT("Post", {"Post", "Message"},
+            {Prop("content", DataType::kString, 0.8),
+             Prop("imageFile", DataType::kString, 0.3),
+             Prop("creationDate", DataType::kDateTime),
+             Prop("length", DataType::kInteger)},
+            4.0),
+      NodeT("Comment", {"Comment", "Message"},
+            {Prop("content", DataType::kString),
+             Prop("creationDate", DataType::kDateTime),
+             Prop("length", DataType::kInteger)},
+            5.0),
+      NodeT("Forum", {"Forum"},
+            {Prop("title", DataType::kString),
+             Prop("creationDate", DataType::kDateTime)},
+            1.0),
+      NodeT("Organisation", {"Organisation"},
+            {Prop("name", DataType::kString), Prop("url", DataType::kString),
+             Prop("orgType", DataType::kString)},
+            0.4),
+      NodeT("Place", {"Place"},
+            {Prop("name", DataType::kString), Prop("url", DataType::kString),
+             Prop("placeType", DataType::kString)},
+            0.3),
+      NodeT("Tag", {"Tag"},
+            {Prop("name", DataType::kString), Prop("url", DataType::kString)},
+            0.6),
+  };
+  s.edge_types = {
+      EdgeT("KNOWS", {"KNOWS"}, 0, 0, EdgeCard::kManyToMany, 2.0,
+            {Prop("creationDate", DataType::kDateTime)}),
+      EdgeT("HAS_CREATOR_POST", {"HAS_CREATOR"}, 1, 0, EdgeCard::kManyToOne,
+            1.0),
+      EdgeT("HAS_CREATOR_COMMENT", {"HAS_CREATOR"}, 2, 0,
+            EdgeCard::kManyToOne, 1.0),
+      EdgeT("LIKES_POST", {"LIKES"}, 0, 1, EdgeCard::kManyToMany, 2.0,
+            {Prop("creationDate", DataType::kDateTime)}),
+      EdgeT("REPLY_OF_POST", {"REPLY_OF"}, 2, 1, EdgeCard::kManyToOne, 0.6),
+      EdgeT("REPLY_OF_COMMENT", {"REPLY_OF"}, 2, 2, EdgeCard::kManyToOne, 0.4),
+      EdgeT("CONTAINER_OF", {"CONTAINER_OF"}, 3, 1, EdgeCard::kOneToMany, 0.9),
+      EdgeT("HAS_MEMBER", {"HAS_MEMBER"}, 3, 0, EdgeCard::kManyToMany, 4.0,
+            {Prop("joinDate", DataType::kDateTime)}),
+      EdgeT("HAS_MODERATOR", {"HAS_MODERATOR"}, 3, 0, EdgeCard::kManyToOne,
+            0.9),
+      EdgeT("HAS_INTEREST", {"HAS_INTEREST"}, 0, 6, EdgeCard::kManyToMany,
+            1.5),
+      EdgeT("HAS_TAG_POST", {"HAS_TAG"}, 1, 6, EdgeCard::kManyToMany, 0.8),
+      EdgeT("STUDY_AT", {"STUDY_AT"}, 0, 4, EdgeCard::kManyToOne, 0.4,
+            {Prop("classYear", DataType::kInteger)}),
+      EdgeT("WORK_AT", {"WORK_AT"}, 0, 4, EdgeCard::kManyToOne, 0.7,
+            {Prop("workFrom", DataType::kInteger)}),
+      EdgeT("IS_LOCATED_IN", {"IS_LOCATED_IN"}, 0, 5, EdgeCard::kManyToOne,
+            0.95),
+      EdgeT("IS_PART_OF", {"IS_PART_OF"}, 5, 5, EdgeCard::kManyToOne, 0.5),
+      EdgeT("HAS_TYPE", {"HAS_TYPE"}, 6, 6, EdgeCard::kManyToOne, 0.6),
+      EdgeT("ORG_LOCATED_IN", {"ORG_LOCATED_IN"}, 4, 5, EdgeCard::kManyToOne,
+            0.8),
+  };
+  return s;
+}
+
+DatasetSpec IypSpec() {
+  // IYP internet yellow pages. Table 2: 44,539,999 / 251,432,812, 86 node
+  // types over only 33 labels (types are label *combinations*), 25 edge
+  // types, 1210/790 patterns. Types are built programmatically: a pool of
+  // 33 base labels combined into 86 distinct 1-3 label sets, with shared
+  // labels across types (the integration scenario that defeats label-keyed
+  // baselines).
+  DatasetSpec s;
+  s.name = "IYP";
+  s.real = true;
+  s.default_nodes = 12000;
+  s.paper_nodes = 44539999;
+  s.paper_edges = 251432812;
+
+  const char* base_labels[33] = {
+      "AS",        "Prefix",    "IP",        "DomainName", "HostName",
+      "Country",   "IXP",       "Facility",  "Organization", "Name",
+      "Registry",  "OpaqueID",  "PeeringLAN", "Tag",       "Ranking",
+      "URL",       "ASN",       "BGPCollector", "AtlasProbe", "AtlasMeasurement",
+      "CaidaIXID", "PeeringdbID", "Estimate", "GeoLocation", "Resolver",
+      "AuthoritativeNS", "CrawledDomain", "TopDomain", "HegemonyScore",
+      "Network",   "Route",     "Point",     "Measurement"};
+
+  util::Rng rng(0xC0FFEE);
+  std::set<std::vector<std::string>> seen;
+  const char* prop_pool[12] = {"name",  "asn",    "prefix",   "af",
+                               "country", "value", "reference", "rank",
+                               "timestamp", "source", "weight", "descr"};
+  for (int t = 0; t < 86; ++t) {
+    // Draw a distinct label combination of size 1-3.
+    std::vector<std::string> labels;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      size_t count = 1 + rng.NextBounded(3);
+      std::set<std::string> pick;
+      while (pick.size() < count) {
+        pick.insert(base_labels[rng.NextBounded(33)]);
+      }
+      labels.assign(pick.begin(), pick.end());
+      if (seen.insert(labels).second) break;
+    }
+    std::vector<PropertySpec> props;
+    size_t num_props = 2 + rng.NextBounded(4);
+    std::set<size_t> picked;
+    while (picked.size() < num_props) picked.insert(rng.NextBounded(12));
+    for (size_t p : picked) {
+      pg::DataType dt = pg::DataType::kString;
+      if (p == 1 || p == 7) dt = pg::DataType::kInteger;
+      if (p == 10) dt = pg::DataType::kFloat;
+      if (p == 8) dt = pg::DataType::kDateTime;
+      double presence = 0.4 + 0.6 * rng.NextDouble();
+      if (p == 5 && rng.NextBool(0.3)) {
+        props.push_back(MixedProp(prop_pool[p], pg::DataType::kInteger,
+                                  presence, 0.1, pg::DataType::kString));
+      } else {
+        props.push_back(Prop(prop_pool[p], dt, presence));
+      }
+    }
+    double weight = 0.2 + 3.0 * rng.NextDouble();
+    s.node_types.push_back(NodeT("iyp_t" + std::to_string(t), labels,
+                                 std::move(props), weight));
+  }
+
+  const char* edge_labels[25] = {
+      "ORIGINATE",   "DEPENDS_ON",  "MANAGED_BY",  "MEMBER_OF",
+      "PEERS_WITH",  "LOCATED_IN",  "COUNTRY",     "RESOLVES_TO",
+      "PART_OF",     "ALIAS_OF",    "CATEGORIZED", "RANK",
+      "ASSIGNED",    "AVAILABLE",   "WEBSITE",     "NAME",
+      "QUERIED_FROM","TARGET",      "EXTERNAL_ID", "SIBLING_OF",
+      "PREFIX_OF",   "ANNOUNCED_BY","HOSTED_IN",   "SERVES",
+      "REGISTERED"};
+  for (int e = 0; e < 25; ++e) {
+    uint32_t src = static_cast<uint32_t>(rng.NextBounded(86));
+    uint32_t dst = static_cast<uint32_t>(rng.NextBounded(86));
+    EdgeCard card = rng.NextBool(0.6) ? EdgeCard::kManyToMany
+                                      : EdgeCard::kManyToOne;
+    double fan = card == EdgeCard::kManyToMany ? 2.0 + 4.0 * rng.NextDouble()
+                                               : 0.4 + 0.6 * rng.NextDouble();
+    std::vector<PropertySpec> props;
+    if (rng.NextBool(0.5)) {
+      props.push_back(Prop("reference_time", pg::DataType::kDateTime, 0.8));
+    }
+    if (rng.NextBool(0.3)) {
+      props.push_back(Prop("count", pg::DataType::kInteger, 0.7));
+    }
+    s.edge_types.push_back(EdgeT(std::string("iyp_e") + std::to_string(e),
+                                 {edge_labels[e]}, src, dst, card, fan,
+                                 std::move(props)));
+  }
+  return s;
+}
+
+std::vector<DatasetSpec> Zoo() {
+  return {PoleSpec(),  Mb6Spec(),    HetioSpec(), Fib25Spec(),
+          IcijSpec(),  Cord19Spec(), LdbcSpec(),  IypSpec()};
+}
+
+util::Result<DatasetSpec> ZooDataset(const std::string& name) {
+  for (DatasetSpec& spec : Zoo()) {
+    if (spec.name == name) return spec;
+  }
+  return util::Status::NotFound("unknown dataset: " + name);
+}
+
+}  // namespace pghive::datasets

@@ -1,0 +1,35 @@
+#ifndef PGHIVE_DATASETS_ZOO_H_
+#define PGHIVE_DATASETS_ZOO_H_
+
+#include <string>
+#include <vector>
+
+#include "datasets/spec.h"
+#include "util/status.h"
+
+namespace pghive::datasets {
+
+/// The eight evaluation datasets of the paper (Table 2), as synthetic specs
+/// reproducing each dataset's schema *shape* — type counts, label counts,
+/// multi-label structure, pattern multiplicity, heterogeneity — at laptop
+/// scale. Nominal paper sizes are recorded in each spec for reporting.
+///
+/// Order matches Table 2: POLE, MB6, HET.IO, FIB25, ICIJ, CORD19, LDBC, IYP.
+std::vector<DatasetSpec> Zoo();
+
+/// A single dataset by name ("POLE", "MB6", ...). NotFound on bad names.
+util::Result<DatasetSpec> ZooDataset(const std::string& name);
+
+/// Individual specs (exposed for targeted tests and examples).
+DatasetSpec PoleSpec();     ///< Crime investigation; 11 flat types.
+DatasetSpec Mb6Spec();      ///< Connectome; 4 multi-label types, 10 labels.
+DatasetSpec HetioSpec();    ///< Biomedical; integration label on all nodes.
+DatasetSpec Fib25Spec();    ///< Connectome; like MB6, more patterns.
+DatasetSpec IcijSpec();     ///< Offshore leaks; heterogeneous, 200+ patterns.
+DatasetSpec Cord19Spec();   ///< COVID KG; 16 types, mixed-typed values.
+DatasetSpec LdbcSpec();     ///< Social network; 7 types, regular structure.
+DatasetSpec IypSpec();      ///< Internet yellow pages; 86 types, 33 labels.
+
+}  // namespace pghive::datasets
+
+#endif  // PGHIVE_DATASETS_ZOO_H_

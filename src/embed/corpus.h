@@ -1,0 +1,38 @@
+#ifndef PGHIVE_EMBED_CORPUS_H_
+#define PGHIVE_EMBED_CORPUS_H_
+
+#include <vector>
+
+#include "pg/batch.h"
+#include "pg/graph.h"
+
+namespace pghive::embed {
+
+/// A training corpus for the label Word2Vec model: each "sentence" is a
+/// short sequence of label-set tokens. The paper trains Word2Vec "on the set
+/// of node and edge labels observed in the dataset" (§4.1); we realize this
+/// as co-occurrence sentences extracted from the graph structure:
+///
+///   for every edge e = (s -> t):  [token(s), token(e), token(t)]
+///   for every isolated labeled node: [token(n)]
+///
+/// so that labels that participate in the same relationships end up close
+/// in embedding space, while unrelated labels stay apart.
+struct LabelCorpus {
+  /// Sentences of label-set tokens (kNoToken entries are skipped).
+  std::vector<std::vector<pg::LabelSetToken>> sentences;
+  /// Number of distinct tokens referenced (== vocab.num_tokens()).
+  size_t vocab_size = 0;
+};
+
+/// Builds the corpus from a whole graph.
+LabelCorpus BuildLabelCorpus(pg::PropertyGraph& graph);
+
+/// Builds the corpus from a single batch (incremental mode trains/updates
+/// per batch on the data seen so far).
+LabelCorpus BuildLabelCorpus(pg::PropertyGraph& graph,
+                             const pg::GraphBatch& batch);
+
+}  // namespace pghive::embed
+
+#endif  // PGHIVE_EMBED_CORPUS_H_

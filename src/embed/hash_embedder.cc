@@ -1,0 +1,52 @@
+#include "embed/hash_embedder.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace pghive::embed {
+
+float CosineSimilarity(const std::vector<float>& a,
+                       const std::vector<float>& b) {
+  if (a.size() != b.size()) return 0.0f;
+  double dot = 0, na = 0, nb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0 || nb <= 0) return 0.0f;
+  return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
+
+HashEmbedder::HashEmbedder(const pg::Vocabulary* vocab, size_t dim,
+                           uint64_t seed)
+    : vocab_(vocab), dim_(dim), seed_(seed) {}
+
+void HashEmbedder::Embed(pg::LabelSetToken token, float* out) const {
+  if (token == pg::kNoToken) {
+    for (size_t i = 0; i < dim_; ++i) out[i] = 0.0f;
+    return;
+  }
+  // Hash the token *name* (not the id) so embeddings are stable across
+  // vocabularies that interned tokens in different orders.
+  const std::string& name = vocab_->TokenName(token);
+  uint64_t h = seed_;
+  for (char c : name) {
+    h = util::HashCombine(h, static_cast<uint64_t>(static_cast<uint8_t>(c)));
+  }
+  util::Rng rng(h);
+  double norm2 = 0.0;
+  for (size_t i = 0; i < dim_; ++i) {
+    out[i] = static_cast<float>(rng.NextGaussian());
+    norm2 += static_cast<double>(out[i]) * out[i];
+  }
+  // Normalize to a unit vector so the embedding block has a consistent
+  // scale relative to the binary property block.
+  double inv = norm2 > 0 ? 1.0 / std::sqrt(norm2) : 0.0;
+  for (size_t i = 0; i < dim_; ++i) {
+    out[i] = static_cast<float>(out[i] * inv);
+  }
+}
+
+}  // namespace pghive::embed

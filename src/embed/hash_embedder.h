@@ -1,0 +1,33 @@
+#ifndef PGHIVE_EMBED_HASH_EMBEDDER_H_
+#define PGHIVE_EMBED_HASH_EMBEDDER_H_
+
+#include <string>
+
+#include "embed/embedder.h"
+
+namespace pghive::embed {
+
+/// Deterministic, training-free embedder: each token name hashes to a seeded
+/// pseudo-random unit vector. Identical label sets always get identical
+/// vectors and distinct sets get (near-)orthogonal vectors — the minimal
+/// property PG-HIVE needs from its label embedding ("prevents semantically
+/// different nodes from being merged due to their same structure", §4.1).
+///
+/// Used as the fast default in tests and as the fallback when the graph has
+/// too few labels to train Word2Vec.
+class HashEmbedder : public LabelEmbedder {
+ public:
+  HashEmbedder(const pg::Vocabulary* vocab, size_t dim, uint64_t seed);
+
+  size_t dim() const override { return dim_; }
+  void Embed(pg::LabelSetToken token, float* out) const override;
+
+ private:
+  const pg::Vocabulary* vocab_;
+  size_t dim_;
+  uint64_t seed_;
+};
+
+}  // namespace pghive::embed
+
+#endif  // PGHIVE_EMBED_HASH_EMBEDDER_H_

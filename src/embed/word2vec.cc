@@ -1,0 +1,151 @@
+#include "embed/word2vec.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace pghive::embed {
+
+namespace {
+
+float Sigmoid(float x) {
+  if (x > 8.0f) return 1.0f;
+  if (x < -8.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+}  // namespace
+
+Word2Vec::Word2Vec(const pg::Vocabulary* vocab, Word2VecOptions options)
+    : vocab_(vocab), options_(options) {
+  PGHIVE_CHECK(options_.dim > 0);
+}
+
+void Word2Vec::EnsureCapacity(size_t vocab_size) {
+  size_t want = vocab_size * options_.dim;
+  if (input_.size() >= want) return;
+  size_t old_rows = input_.size() / options_.dim;
+  input_.resize(want);
+  output_.resize(want, 0.0f);
+  // New rows: small random init derived from the token name so the starting
+  // point is deterministic and stable across runs.
+  for (size_t row = old_rows; row < vocab_size; ++row) {
+    const std::string& name = vocab_->TokenName(static_cast<uint32_t>(row));
+    uint64_t h = options_.seed;
+    for (char c : name) {
+      h = util::HashCombine(h, static_cast<uint64_t>(static_cast<uint8_t>(c)));
+    }
+    util::Rng rng(h);
+    for (size_t d = 0; d < options_.dim; ++d) {
+      input_[row * options_.dim + d] =
+          static_cast<float>((rng.NextDouble() - 0.5) / options_.dim);
+    }
+  }
+}
+
+void Word2Vec::Train(const LabelCorpus& corpus) {
+  EnsureCapacity(corpus.vocab_size);
+  if (corpus.sentences.empty() || corpus.vocab_size == 0) return;
+
+  const size_t dim = options_.dim;
+  util::Rng rng(options_.seed ^ 0x5bd1e995ULL);
+
+  // Unigram table for negative sampling (uniform over tokens is fine for
+  // label vocabularies, which are tiny compared to text vocabularies).
+  const size_t vocab_size = corpus.vocab_size;
+
+  std::vector<float> grad(dim);
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    size_t pairs = 0;
+    for (const auto& sentence : corpus.sentences) {
+      if (pairs >= options_.max_pairs_per_epoch) break;
+      for (size_t i = 0; i < sentence.size(); ++i) {
+        pg::LabelSetToken center = sentence[i];
+        if (center == pg::kNoToken) continue;
+        size_t lo = i >= options_.window ? i - options_.window : 0;
+        size_t hi = std::min(sentence.size(), i + options_.window + 1);
+        for (size_t j = lo; j < hi; ++j) {
+          if (j == i) continue;
+          pg::LabelSetToken context = sentence[j];
+          if (context == pg::kNoToken) continue;
+          ++pairs;
+          float* v_in = &input_[center * dim];
+          std::fill(grad.begin(), grad.end(), 0.0f);
+          // One positive plus `negatives` negative updates.
+          for (size_t n = 0; n <= options_.negatives; ++n) {
+            uint32_t target;
+            float label;
+            if (n == 0) {
+              target = context;
+              label = 1.0f;
+            } else {
+              target = static_cast<uint32_t>(rng.NextBounded(vocab_size));
+              if (target == context) continue;
+              label = 0.0f;
+            }
+            float* v_out = &output_[target * dim];
+            float dot = 0.0f;
+            for (size_t d = 0; d < dim; ++d) dot += v_in[d] * v_out[d];
+            float g = (label - Sigmoid(dot)) * options_.learning_rate;
+            for (size_t d = 0; d < dim; ++d) {
+              grad[d] += g * v_out[d];
+              v_out[d] += g * v_in[d];
+            }
+          }
+          for (size_t d = 0; d < dim; ++d) v_in[d] += grad[d];
+        }
+      }
+    }
+  }
+}
+
+void Word2Vec::Embed(pg::LabelSetToken token, float* out) const {
+  const size_t dim = options_.dim;
+  if (token == pg::kNoToken ||
+      static_cast<size_t>(token) * dim >= input_.size()) {
+    for (size_t d = 0; d < dim; ++d) out[d] = 0.0f;
+    return;
+  }
+  const float* row = &input_[token * dim];
+  double norm2 = 0.0;
+  for (size_t d = 0; d < dim; ++d) norm2 += static_cast<double>(row[d]) * row[d];
+  double inv = norm2 > 1e-12 ? 1.0 / std::sqrt(norm2) : 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    out[d] = static_cast<float>(row[d] * inv);
+  }
+  if (options_.identity_weight > 0.0f) {
+    // Deterministic unit vector derived from the token name.
+    const std::string& name = vocab_->TokenName(token);
+    uint64_t h = options_.seed ^ 0x1DE47171;
+    for (char c : name) {
+      h = util::HashCombine(h, static_cast<uint64_t>(static_cast<uint8_t>(c)));
+    }
+    util::Rng rng(h);
+    std::vector<float> id(dim);
+    double id_norm2 = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      id[d] = static_cast<float>(rng.NextGaussian());
+      id_norm2 += static_cast<double>(id[d]) * id[d];
+    }
+    double id_inv = id_norm2 > 1e-12 ? 1.0 / std::sqrt(id_norm2) : 0.0;
+    double out_norm2 = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      out[d] += static_cast<float>(options_.identity_weight * id[d] * id_inv);
+      out_norm2 += static_cast<double>(out[d]) * out[d];
+    }
+    double out_inv = out_norm2 > 1e-12 ? 1.0 / std::sqrt(out_norm2) : 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      out[d] = static_cast<float>(out[d] * out_inv);
+    }
+  }
+}
+
+float Word2Vec::Similarity(pg::LabelSetToken a, pg::LabelSetToken b) const {
+  std::vector<float> va(options_.dim), vb(options_.dim);
+  Embed(a, va.data());
+  Embed(b, vb.data());
+  return CosineSimilarity(va, vb);
+}
+
+}  // namespace pghive::embed

@@ -1,0 +1,64 @@
+#ifndef PGHIVE_EMBED_WORD2VEC_H_
+#define PGHIVE_EMBED_WORD2VEC_H_
+
+#include <vector>
+
+#include "embed/corpus.h"
+#include "embed/embedder.h"
+
+namespace pghive::embed {
+
+/// Training options for the skip-gram negative-sampling model.
+struct Word2VecOptions {
+  size_t dim = 8;           ///< Embedding dimension d (paper uses small d).
+  size_t window = 2;        ///< Context window in tokens.
+  size_t negatives = 4;     ///< Negative samples per positive pair.
+  size_t epochs = 3;        ///< Passes over the corpus.
+  float learning_rate = 0.05f;
+  /// Weight of a deterministic per-token component blended into the trained
+  /// vector. High-dimensional Word2Vec keeps distinct words distinguishable
+  /// even when their contexts coincide; at our small `dim`, SGNS would
+  /// collapse same-context tokens onto one point, so a token-identity
+  /// component restores that property (0 disables).
+  float identity_weight = 0.5f;
+  uint64_t seed = 0x9e3779b9ULL;
+  /// Caps training pairs per epoch to bound cost on large graphs; the label
+  /// corpus is highly redundant so subsampling loses nothing.
+  size_t max_pairs_per_epoch = 200000;
+};
+
+/// A miniature Word2Vec (skip-gram with negative sampling) over label-set
+/// tokens. Reproduces the embedding substrate of §4.1: identical label sets
+/// share a vector; co-occurring labels (connected by edges) get similar
+/// vectors; unrelated labels diverge. Embeddings are L2-normalized on read
+/// so the embedding block of the feature vector has unit scale.
+class Word2Vec : public LabelEmbedder {
+ public:
+  Word2Vec(const pg::Vocabulary* vocab, Word2VecOptions options);
+
+  /// Trains (or continues training) on the corpus. Tokens added to the
+  /// vocabulary since the last call get freshly initialized rows, which is
+  /// what incremental batch processing relies on.
+  void Train(const LabelCorpus& corpus);
+
+  size_t dim() const override { return options_.dim; }
+  void Embed(pg::LabelSetToken token, float* out) const override;
+
+  /// Cosine similarity between the embeddings of two tokens.
+  float Similarity(pg::LabelSetToken a, pg::LabelSetToken b) const;
+
+  /// Number of token rows currently allocated.
+  size_t num_rows() const { return input_.size() / options_.dim; }
+
+ private:
+  void EnsureCapacity(size_t vocab_size);
+
+  const pg::Vocabulary* vocab_;
+  Word2VecOptions options_;
+  std::vector<float> input_;   // num_tokens x dim (the embeddings).
+  std::vector<float> output_;  // num_tokens x dim (context weights).
+};
+
+}  // namespace pghive::embed
+
+#endif  // PGHIVE_EMBED_WORD2VEC_H_

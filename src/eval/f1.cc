@@ -1,0 +1,58 @@
+#include "eval/f1.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace pghive::eval {
+
+F1Result MajorityF1(const std::vector<uint32_t>& assignment,
+                    const std::vector<uint32_t>& ground_truth) {
+  PGHIVE_CHECK(assignment.size() == ground_truth.size());
+  F1Result result;
+  const size_t n = assignment.size();
+  if (n == 0) return result;
+
+  // cluster -> (type -> count).
+  std::unordered_map<uint32_t, std::unordered_map<uint32_t, size_t>>
+      cluster_type_counts;
+  std::unordered_map<uint32_t, size_t> type_totals;
+  for (size_t i = 0; i < n; ++i) {
+    ++type_totals[ground_truth[i]];
+    if (assignment[i] == UINT32_MAX) continue;
+    ++cluster_type_counts[assignment[i]][ground_truth[i]];
+  }
+  result.num_clusters = cluster_type_counts.size();
+  result.num_types = type_totals.size();
+
+  // Majority accuracy: elements matching their cluster's majority type.
+  size_t correct = 0;
+  for (const auto& [cluster, counts] : cluster_type_counts) {
+    size_t majority = 0;
+    for (const auto& [type, count] : counts) {
+      majority = std::max(majority, count);
+    }
+    correct += majority;
+  }
+  result.purity = static_cast<double>(correct) / static_cast<double>(n);
+  result.f1 = result.purity;
+
+  // Diagnostic coverage: per true type, the largest single-cluster chunk.
+  std::unordered_map<uint32_t, std::unordered_map<uint32_t, size_t>>
+      type_cluster_counts;
+  for (size_t i = 0; i < n; ++i) {
+    if (assignment[i] == UINT32_MAX) continue;
+    ++type_cluster_counts[ground_truth[i]][assignment[i]];
+  }
+  size_t covered = 0;
+  for (const auto& [type, counts] : type_cluster_counts) {
+    size_t best = 0;
+    for (const auto& [cluster, count] : counts) best = std::max(best, count);
+    covered += best;
+  }
+  result.coverage = static_cast<double>(covered) / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace pghive::eval

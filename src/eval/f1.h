@@ -1,0 +1,43 @@
+#ifndef PGHIVE_EVAL_F1_H_
+#define PGHIVE_EVAL_F1_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pghive::eval {
+
+/// The majority-based F1*-score of §5: each discovered cluster is labeled
+/// with the majority ground-truth type among its members, and "the
+/// correctness of a node/edge placement is determined based on whether its
+/// actual type matches the majority label(s) of its cluster" [68]. The
+/// F1* score is the fraction of correctly placed elements.
+///
+/// Properties (matching the paper's observations):
+///   - mixing distinct types in one cluster is penalized (minority members
+///     count as misplaced);
+///   - fragmenting one type into several pure clusters is NOT penalized
+///     (each fragment's majority is still the right type) — which is why
+///     PG-HIVE's deliberately over-separating LSH pass is safe;
+///   - undiscovered elements (assignment UINT32_MAX) count as misplaced.
+///
+/// The stricter pairing of purity and anti-fragmentation coverage is also
+/// reported for diagnostics and the ablation benches.
+struct F1Result {
+  /// The paper's F1*: majority-assignment accuracy.
+  double f1 = 0.0;
+  /// Fraction of elements matching their cluster majority (== f1).
+  double purity = 0.0;
+  /// Anti-fragmentation coverage: per true type, the largest fraction kept
+  /// in a single cluster, instance-weighted. Diagnostic only.
+  double coverage = 0.0;
+  size_t num_clusters = 0;
+  size_t num_types = 0;
+};
+
+F1Result MajorityF1(const std::vector<uint32_t>& assignment,
+                    const std::vector<uint32_t>& ground_truth);
+
+}  // namespace pghive::eval
+
+#endif  // PGHIVE_EVAL_F1_H_

@@ -1,0 +1,50 @@
+#include "eval/ranks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace pghive::eval {
+
+std::vector<double> AverageRanks(
+    const std::vector<std::vector<double>>& scores) {
+  const size_t k = scores.size();
+  if (k == 0) return {};
+  const size_t n = scores[0].size();
+  for (const auto& row : scores) PGHIVE_CHECK(row.size() == n);
+
+  std::vector<double> rank_sums(k, 0.0);
+  std::vector<size_t> order(k);
+  for (size_t c = 0; c < n; ++c) {
+    // Sort methods by descending score for this case.
+    for (size_t m = 0; m < k; ++m) order[m] = m;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return scores[a][c] > scores[b][c];
+    });
+    // Assign ranks with tie averaging.
+    size_t i = 0;
+    while (i < k) {
+      size_t j = i;
+      while (j + 1 < k && scores[order[j + 1]][c] == scores[order[i]][c]) ++j;
+      double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+      for (size_t t = i; t <= j; ++t) rank_sums[order[t]] += avg_rank;
+      i = j + 1;
+    }
+  }
+  for (auto& r : rank_sums) r /= static_cast<double>(n);
+  return rank_sums;
+}
+
+double NemenyiCriticalDifference(size_t k, size_t n) {
+  // q_{0.05} values (infinite df studentized range / sqrt(2)) for
+  // k = 2..10 methods (Demsar 2006).
+  static const double kQ[] = {0.0,   0.0,   1.960, 2.343, 2.569, 2.728,
+                              2.850, 2.949, 3.031, 3.102, 3.164};
+  PGHIVE_CHECK(k >= 2 && k <= 10 && n >= 1);
+  double q = kQ[k];
+  return q * std::sqrt(static_cast<double>(k * (k + 1)) /
+                       (6.0 * static_cast<double>(n)));
+}
+
+}  // namespace pghive::eval

@@ -1,0 +1,23 @@
+#ifndef PGHIVE_EVAL_RANKS_H_
+#define PGHIVE_EVAL_RANKS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pghive::eval {
+
+/// Average-rank analysis with the Nemenyi post-hoc test (Fig. 3).
+///
+/// `scores[m][c]` is method m's score on case c (higher is better; missing
+/// results should be encoded as -1 and rank last). Average ranks assign
+/// rank 1 to the best method per case, with ties sharing the mean rank.
+std::vector<double> AverageRanks(const std::vector<std::vector<double>>& scores);
+
+/// The Nemenyi critical difference at alpha = 0.05 for k methods over n
+/// cases: CD = q_{0.05,k} * sqrt(k (k+1) / (6 n)). Two methods differ
+/// significantly when their average ranks differ by more than CD.
+double NemenyiCriticalDifference(size_t k, size_t n);
+
+}  // namespace pghive::eval
+
+#endif  // PGHIVE_EVAL_RANKS_H_

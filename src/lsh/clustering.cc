@@ -1,0 +1,58 @@
+#include "lsh/clustering.h"
+
+#include <unordered_map>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/union_find.h"
+
+namespace pghive::lsh {
+
+ClusterSet::ClusterSet(std::vector<uint32_t> assignment)
+    : assignment_(std::move(assignment)) {
+  uint32_t max_id = 0;
+  for (uint32_t c : assignment_) max_id = std::max(max_id, c);
+  members_.resize(assignment_.empty() ? 0 : max_id + 1);
+  for (uint32_t i = 0; i < assignment_.size(); ++i) {
+    members_[assignment_[i]].push_back(i);
+  }
+}
+
+ClusterSet ClusterBySignature(const std::vector<uint64_t>& signatures,
+                              size_t num_items, size_t t) {
+  PGHIVE_CHECK(signatures.size() == num_items * t);
+  std::unordered_map<uint64_t, uint32_t> sig_to_cluster;
+  sig_to_cluster.reserve(num_items);
+  std::vector<uint32_t> assignment(num_items);
+  for (size_t i = 0; i < num_items; ++i) {
+    uint64_t h = 0x6a09e667f3bcc909ULL;
+    for (size_t k = 0; k < t; ++k) {
+      h = util::HashCombine(h, signatures[i * t + k]);
+    }
+    auto [it, inserted] =
+        sig_to_cluster.try_emplace(h, static_cast<uint32_t>(sig_to_cluster.size()));
+    assignment[i] = it->second;
+  }
+  return ClusterSet(std::move(assignment));
+}
+
+ClusterSet ClusterByAnyCollision(const std::vector<uint64_t>& signatures,
+                                 size_t num_items, size_t t) {
+  PGHIVE_CHECK(signatures.size() == num_items * t);
+  util::UnionFind uf(num_items);
+  // For each table, link all items in the same bucket to the bucket's first
+  // occupant.
+  std::unordered_map<uint64_t, uint32_t> bucket_first;
+  for (size_t k = 0; k < t; ++k) {
+    bucket_first.clear();
+    for (size_t i = 0; i < num_items; ++i) {
+      uint64_t key = util::HashCombine(k + 1, signatures[i * t + k]);
+      auto [it, inserted] =
+          bucket_first.try_emplace(key, static_cast<uint32_t>(i));
+      if (!inserted) uf.Union(it->second, static_cast<uint32_t>(i));
+    }
+  }
+  return ClusterSet(uf.ComponentIds());
+}
+
+}  // namespace pghive::lsh

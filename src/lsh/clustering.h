@@ -1,0 +1,59 @@
+#ifndef PGHIVE_LSH_CLUSTERING_H_
+#define PGHIVE_LSH_CLUSTERING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pghive::lsh {
+
+/// How the T hash tables are combined into clusters (§4.2).
+///
+/// kAnd: two items cluster together iff they collide in *every* table
+///       (group-by full signature). Higher T => finer clusters — matches the
+///       paper's "increasing T increases selectivity" and is the default;
+///       over-fragmentation is repaired by the merging step of §4.3.
+/// kOr:  two items cluster together if they collide in *at least one* table
+///       (union-find over per-table buckets). Higher T => higher recall.
+enum class Amplification { kAnd, kOr };
+
+/// The result of an LSH clustering pass: every input item is assigned to
+/// exactly one cluster.
+class ClusterSet {
+ public:
+  ClusterSet() = default;
+
+  /// Builds from a dense assignment vector (item -> cluster id in
+  /// [0, num_clusters)).
+  explicit ClusterSet(std::vector<uint32_t> assignment);
+
+  size_t num_items() const { return assignment_.size(); }
+  size_t num_clusters() const { return members_.size(); }
+
+  uint32_t cluster_of(size_t item) const { return assignment_[item]; }
+  const std::vector<uint32_t>& assignment() const { return assignment_; }
+
+  /// Member item indices of one cluster.
+  const std::vector<uint32_t>& members(uint32_t cluster) const {
+    return members_[cluster];
+  }
+
+ private:
+  std::vector<uint32_t> assignment_;
+  std::vector<std::vector<uint32_t>> members_;
+};
+
+/// Groups items by their full T-entry signature (AND amplification).
+/// `signatures` is row-major: item i occupies [i*T, (i+1)*T).
+ClusterSet ClusterBySignature(const std::vector<uint64_t>& signatures,
+                              size_t num_items, size_t t);
+
+/// Union-find clustering: items sharing any per-table bucket are merged
+/// (OR amplification). Signature layout as above; bucket identity within
+/// table k is (k, signatures[i*T+k]).
+ClusterSet ClusterByAnyCollision(const std::vector<uint64_t>& signatures,
+                                 size_t num_items, size_t t);
+
+}  // namespace pghive::lsh
+
+#endif  // PGHIVE_LSH_CLUSTERING_H_

@@ -1,0 +1,116 @@
+#include "lsh/minhash.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/union_find.h"
+
+namespace pghive::lsh {
+
+MinHashLsh::MinHashLsh(MinHashParams params) : params_(params) {
+  PGHIVE_CHECK(params_.num_hashes > 0);
+  if (params_.rows_per_band == 0 ||
+      params_.rows_per_band > params_.num_hashes) {
+    params_.rows_per_band = params_.num_hashes;
+  }
+  util::Rng rng(params_.seed);
+  hash_seeds_.resize(params_.num_hashes);
+  for (auto& s : hash_seeds_) s = rng.NextU64();
+}
+
+void MinHashLsh::Signature(const std::vector<uint64_t>& elements,
+                           uint64_t* out) const {
+  const size_t t = params_.num_hashes;
+  if (elements.empty()) {
+    // Unique sentinel so empty sets only collide with empty sets.
+    for (size_t k = 0; k < t; ++k) out[k] = UINT64_MAX;
+    return;
+  }
+  for (size_t k = 0; k < t; ++k) {
+    uint64_t best = UINT64_MAX;
+    for (uint64_t e : elements) {
+      uint64_t h = util::Mix64(e ^ hash_seeds_[k]);
+      if (h < best) best = h;
+    }
+    out[k] = best;
+  }
+}
+
+std::vector<uint64_t> MinHashLsh::SignatureAll(
+    const std::vector<std::vector<uint64_t>>& sets) const {
+  const size_t t = params_.num_hashes;
+  std::vector<uint64_t> sigs(sets.size() * t);
+  for (size_t i = 0; i < sets.size(); ++i) {
+    Signature(sets[i], &sigs[i * t]);
+  }
+  return sigs;
+}
+
+ClusterSet MinHashLsh::Cluster(
+    const std::vector<std::vector<uint64_t>>& sets) const {
+  const size_t t = params_.num_hashes;
+  auto sigs = SignatureAll(sets);
+  if (params_.amplification == Amplification::kAnd) {
+    return ClusterBySignature(sigs, sets.size(), t);
+  }
+  // Banding: union items whose signatures agree on any whole band.
+  const size_t r = params_.rows_per_band;
+  const size_t bands = t / r;
+  util::UnionFind uf(sets.size());
+  std::unordered_map<uint64_t, uint32_t> bucket_first;
+  for (size_t b = 0; b < bands; ++b) {
+    bucket_first.clear();
+    for (size_t i = 0; i < sets.size(); ++i) {
+      uint64_t key = util::Mix64(b + 0x1234);
+      for (size_t k = b * r; k < (b + 1) * r; ++k) {
+        key = util::HashCombine(key, sigs[i * t + k]);
+      }
+      auto [it, inserted] =
+          bucket_first.try_emplace(key, static_cast<uint32_t>(i));
+      if (!inserted) uf.Union(it->second, static_cast<uint32_t>(i));
+    }
+  }
+  return ClusterSet(uf.ComponentIds());
+}
+
+double MinHashLsh::EstimateJaccard(const uint64_t* sig_a,
+                                   const uint64_t* sig_b, size_t t) {
+  if (t == 0) return 0.0;
+  size_t agree = 0;
+  for (size_t k = 0; k < t; ++k) {
+    if (sig_a[k] == sig_b[k]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(t);
+}
+
+double MinHashLsh::BandingThreshold() const {
+  const double bands =
+      static_cast<double>(params_.num_hashes / params_.rows_per_band);
+  if (bands <= 0) return 1.0;
+  return std::pow(1.0 / bands, 1.0 / static_cast<double>(params_.rows_per_band));
+}
+
+double ExactJaccard(const std::vector<uint64_t>& a,
+                    const std::vector<uint64_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - inter;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace pghive::lsh

@@ -1,0 +1,63 @@
+#ifndef PGHIVE_LSH_MINHASH_H_
+#define PGHIVE_LSH_MINHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "lsh/clustering.h"
+
+namespace pghive::lsh {
+
+/// MinHash LSH parameters (§4.2): T hash functions; when clustering with
+/// banding, rows_per_band R groups the T functions into B = T/R bands so the
+/// effective Jaccard threshold is roughly (1/B)^(1/R).
+struct MinHashParams {
+  size_t num_hashes = 24;   ///< T.
+  size_t rows_per_band = 6; ///< R (banding only).
+  uint64_t seed = 42;
+  Amplification amplification = Amplification::kAnd;
+};
+
+/// Min-wise independent hashing over integer element sets. The probability
+/// that two sets share a signature slot equals their Jaccard similarity.
+class MinHashLsh {
+ public:
+  explicit MinHashLsh(MinHashParams params);
+
+  /// Writes the T-slot signature of `elements` (arbitrary uint64 ids).
+  /// Empty sets receive a sentinel signature unique to empty sets.
+  void Signature(const std::vector<uint64_t>& elements, uint64_t* out) const;
+
+  /// Signatures of many sets, row-major num x T.
+  std::vector<uint64_t> SignatureAll(
+      const std::vector<std::vector<uint64_t>>& sets) const;
+
+  /// Clusters sets. kAnd groups identical full signatures; kOr applies
+  /// banding (union-find over band collisions) which approximates a Jaccard
+  /// threshold of (1/B)^(1/R).
+  ClusterSet Cluster(const std::vector<std::vector<uint64_t>>& sets) const;
+
+  /// Monte-Carlo-free estimate of Jaccard similarity from two signatures:
+  /// the fraction of agreeing slots.
+  static double EstimateJaccard(const uint64_t* sig_a, const uint64_t* sig_b,
+                                size_t t);
+
+  const MinHashParams& params() const { return params_; }
+
+  /// The banding threshold (1/B)^(1/R) for these parameters.
+  double BandingThreshold() const;
+
+ private:
+  MinHashParams params_;
+  std::vector<uint64_t> hash_seeds_;  // One per hash function.
+};
+
+/// Exact Jaccard similarity of two sorted id vectors; returns 1 when both
+/// are empty (two property-less patterns are structurally identical).
+double ExactJaccard(const std::vector<uint64_t>& a,
+                    const std::vector<uint64_t>& b);
+
+}  // namespace pghive::lsh
+
+#endif  // PGHIVE_LSH_MINHASH_H_

@@ -1,0 +1,226 @@
+#include "pg/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace pghive::pg {
+
+namespace {
+
+// Property strings are escaped so ';' '=' '\n' and '\\' survive round trips.
+std::string EscapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case ';':
+        out += "\\s";
+        break;
+      case '=':
+        out += "\\e";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      switch (s[i]) {
+        case '\\':
+          out.push_back('\\');
+          break;
+        case 's':
+          out.push_back(';');
+          break;
+        case 'e':
+          out.push_back('=');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        default:
+          out.push_back(s[i]);
+      }
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+std::string LabelField(const Vocabulary& vocab,
+                       const std::vector<LabelId>& labels) {
+  if (labels.empty()) return "-";
+  std::string out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i) out.push_back('|');
+    out += EscapeField(vocab.LabelName(labels[i]));
+  }
+  return out;
+}
+
+std::string PropsField(const Vocabulary& vocab, const PropertyMap& props) {
+  std::string out;
+  bool first = true;
+  for (const auto& [key, value] : props.entries()) {
+    if (!first) out.push_back(';');
+    first = false;
+    out += EscapeField(vocab.KeyName(key));
+    out.push_back('=');
+    out += EscapeField(value.ToString());
+  }
+  return out;
+}
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      cur.push_back(s[i]);
+      cur.push_back(s[i + 1]);
+      ++i;
+    } else if (s[i] == sep) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(s[i]);
+    }
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+// Parses a value string back into a typed Value by probing formats.
+Value ParseValue(const std::string& s) {
+  if (s == "null") return Value();
+  if (LooksLikeInteger(s)) return Value(static_cast<int64_t>(std::stoll(s)));
+  if (LooksLikeFloat(s)) return Value(std::stod(s));
+  if (s == "true") return Value(true);
+  if (s == "false") return Value(false);
+  return Value(s);
+}
+
+}  // namespace
+
+std::string SaveGraphText(const PropertyGraph& graph) {
+  std::ostringstream out;
+  const Vocabulary& vocab = graph.vocab();
+  for (const Node& n : graph.nodes()) {
+    out << "N " << n.id << ' ' << LabelField(vocab, n.labels) << ' '
+        << PropsField(vocab, n.properties) << '\n';
+  }
+  for (const Edge& e : graph.edges()) {
+    out << "E " << e.id << ' ' << e.src << ' ' << e.dst << ' '
+        << LabelField(vocab, e.labels) << ' ' << PropsField(vocab, e.properties)
+        << '\n';
+  }
+  return out.str();
+}
+
+util::Status SaveGraphFile(const PropertyGraph& graph,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot open " + path);
+  out << SaveGraphText(graph);
+  if (!out) return util::Status::IoError("write failed: " + path);
+  return util::Status::Ok();
+}
+
+util::Result<PropertyGraph> LoadGraphText(const std::string& text) {
+  PropertyGraph graph;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    auto parse_props = [&](bool is_node, uint64_t id,
+                           const std::string& field) {
+      if (field.empty()) return;
+      for (const std::string& pair : SplitOn(field, ';')) {
+        if (pair.empty()) continue;
+        auto kv = SplitOn(pair, '=');
+        if (kv.size() != 2) continue;
+        std::string key = UnescapeField(kv[0]);
+        Value value = ParseValue(UnescapeField(kv[1]));
+        if (is_node) {
+          graph.SetNodeProperty(id, key, std::move(value));
+        } else {
+          graph.SetEdgeProperty(id, key, std::move(value));
+        }
+      }
+    };
+    auto parse_labels = [&](const std::string& field) {
+      std::vector<std::string> labels;
+      if (field == "-") return labels;
+      for (const std::string& l : SplitOn(field, '|')) {
+        if (!l.empty()) labels.push_back(UnescapeField(l));
+      }
+      return labels;
+    };
+    if (kind == "N") {
+      uint64_t id;
+      std::string label_field, prop_field;
+      if (!(ls >> id >> label_field)) {
+        return util::Status::ParseError("bad node line " +
+                                        std::to_string(line_no));
+      }
+      ls >> prop_field;
+      NodeId nid = graph.AddNode(parse_labels(label_field));
+      if (nid != id) {
+        return util::Status::ParseError("node ids must be dense, line " +
+                                        std::to_string(line_no));
+      }
+      parse_props(true, nid, prop_field);
+    } else if (kind == "E") {
+      uint64_t id, src, dst;
+      std::string label_field, prop_field;
+      if (!(ls >> id >> src >> dst >> label_field)) {
+        return util::Status::ParseError("bad edge line " +
+                                        std::to_string(line_no));
+      }
+      ls >> prop_field;
+      if (src >= graph.num_nodes() || dst >= graph.num_nodes()) {
+        return util::Status::ParseError("edge endpoint out of range, line " +
+                                        std::to_string(line_no));
+      }
+      EdgeId eid = graph.AddEdge(src, dst, parse_labels(label_field));
+      if (eid != id) {
+        return util::Status::ParseError("edge ids must be dense, line " +
+                                        std::to_string(line_no));
+      }
+      parse_props(false, eid, prop_field);
+    } else {
+      return util::Status::ParseError("unknown record '" + kind + "' line " +
+                                      std::to_string(line_no));
+    }
+  }
+  return graph;
+}
+
+util::Result<PropertyGraph> LoadGraphFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LoadGraphText(buf.str());
+}
+
+}  // namespace pghive::pg

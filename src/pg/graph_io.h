@@ -1,0 +1,33 @@
+#ifndef PGHIVE_PG_GRAPH_IO_H_
+#define PGHIVE_PG_GRAPH_IO_H_
+
+#include <string>
+
+#include "pg/graph.h"
+#include "util/status.h"
+
+namespace pghive::pg {
+
+/// Serializes a property graph to a simple line-oriented text format
+/// (one record per line) that round-trips through LoadGraphText:
+///
+///   N <id> <label|label|...or -> key=value;key=value
+///   E <id> <src> <dst> <label|...or -> key=value;...
+///
+/// Values are rendered with Value::ToString and re-parsed by type probing,
+/// matching how data arrives from a real PG store's CSV export.
+std::string SaveGraphText(const PropertyGraph& graph);
+
+/// Writes SaveGraphText output to a file.
+util::Status SaveGraphFile(const PropertyGraph& graph,
+                           const std::string& path);
+
+/// Parses the SaveGraphText format.
+util::Result<PropertyGraph> LoadGraphText(const std::string& text);
+
+/// Reads a file written by SaveGraphFile.
+util::Result<PropertyGraph> LoadGraphFile(const std::string& path);
+
+}  // namespace pghive::pg
+
+#endif  // PGHIVE_PG_GRAPH_IO_H_

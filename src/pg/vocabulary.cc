@@ -1,0 +1,22 @@
+#include "pg/vocabulary.h"
+
+#include <algorithm>
+
+namespace pghive::pg {
+
+LabelSetToken Vocabulary::TokenForLabelSet(const std::vector<LabelId>& labels) {
+  if (labels.empty()) return kNoToken;
+  std::vector<std::string_view> names;
+  names.reserve(labels.size());
+  for (LabelId id : labels) names.push_back(labels_.Get(id));
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  std::string joined;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i) joined.push_back('|');
+    joined.append(names[i]);
+  }
+  return tokens_.Intern(joined);
+}
+
+}  // namespace pghive::pg

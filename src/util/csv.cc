@@ -1,0 +1,96 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace pghive::util {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // Skip CR in CRLF files.
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JoinCsvLine(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i) out.push_back(',');
+    out += CsvEscape(fields[i]);
+  }
+  return out;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = SplitCsvLine(line);
+    if (first) {
+      table.header = std::move(fields);
+      first = false;
+    } else {
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  if (first) return Status::ParseError("empty CSV file: " + path);
+  return table;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << JoinCsvLine(table.header) << "\n";
+  for (const auto& row : table.rows) out << JoinCsvLine(row) << "\n";
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace pghive::util

@@ -1,0 +1,45 @@
+#ifndef PGHIVE_UTIL_STATS_H_
+#define PGHIVE_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pghive::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a vector (0 if empty).
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (0 if fewer than 2 elements).
+double StdDev(const std::vector<double>& xs);
+
+/// p-th percentile (0 <= p <= 100) by linear interpolation of the sorted
+/// copy. Returns 0 for an empty vector.
+double Percentile(std::vector<double> xs, double p);
+
+/// Harmonic mean of two non-negative values (the F1 combination rule).
+double HarmonicMean(double a, double b);
+
+}  // namespace pghive::util
+
+#endif  // PGHIVE_UTIL_STATS_H_

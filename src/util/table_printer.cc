@@ -1,0 +1,53 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+
+namespace pghive::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  auto append_row = [&](std::string* out, const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out->append(row[c]);
+      out->append(widths[c] - row[c].size() + 2, ' ');
+    }
+    while (!out->empty() && out->back() == ' ') out->pop_back();
+    out->push_back('\n');
+  };
+  std::string out;
+  append_row(&out, headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out.append(total > 2 ? total - 2 : total, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) append_row(&out, row);
+  return out;
+}
+
+void TablePrinter::Print() const {
+  std::string s = ToString();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string TablePrinter::Fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace pghive::util

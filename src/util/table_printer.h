@@ -1,0 +1,34 @@
+#ifndef PGHIVE_UTIL_TABLE_PRINTER_H_
+#define PGHIVE_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace pghive::util {
+
+/// Renders aligned plain-text tables for the benchmark harness output
+/// (the "same rows the paper reports" printouts).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; missing cells are blank, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a header separator line.
+  std::string ToString() const;
+
+  /// Convenience: renders and writes to stdout.
+  void Print() const;
+
+  /// Formats a double with the given number of decimals.
+  static std::string Fmt(double v, int decimals = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pghive::util
+
+#endif  // PGHIVE_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,49 @@
+#include "util/union_find.h"
+
+#include <numeric>
+
+#include "util/status.h"
+
+namespace pghive::util {
+
+UnionFind::UnionFind(size_t n)
+    : parent_(n), rank_(n, 0), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0u);
+}
+
+uint32_t UnionFind::Find(uint32_t x) {
+  PGHIVE_CHECK(x < parent_.size());
+  uint32_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    uint32_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(uint32_t a, uint32_t b) {
+  uint32_t ra = Find(a);
+  uint32_t rb = Find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --num_sets_;
+  return true;
+}
+
+std::vector<uint32_t> UnionFind::ComponentIds() {
+  std::vector<uint32_t> ids(parent_.size(), UINT32_MAX);
+  std::vector<uint32_t> root_to_id(parent_.size(), UINT32_MAX);
+  uint32_t next = 0;
+  for (uint32_t i = 0; i < parent_.size(); ++i) {
+    uint32_t r = Find(i);
+    if (root_to_id[r] == UINT32_MAX) root_to_id[r] = next++;
+    ids[i] = root_to_id[r];
+  }
+  return ids;
+}
+
+}  // namespace pghive::util

@@ -1,0 +1,40 @@
+#ifndef PGHIVE_UTIL_UNION_FIND_H_
+#define PGHIVE_UTIL_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pghive::util {
+
+/// Disjoint-set forest with path compression and union by rank. Used by the
+/// OR-amplified LSH clustering and by MinHash banding.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n);
+
+  /// Returns the representative of x's set (with path compression).
+  uint32_t Find(uint32_t x);
+
+  /// Merges the sets containing a and b. Returns true if they were distinct.
+  bool Union(uint32_t a, uint32_t b);
+
+  /// Number of elements.
+  size_t size() const { return parent_.size(); }
+
+  /// Number of disjoint sets currently.
+  size_t num_sets() const { return num_sets_; }
+
+  /// Returns, for every element, a dense component id in [0, num_sets).
+  /// Component ids are assigned in order of first appearance.
+  std::vector<uint32_t> ComponentIds();
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint8_t> rank_;
+  size_t num_sets_;
+};
+
+}  // namespace pghive::util
+
+#endif  // PGHIVE_UTIL_UNION_FIND_H_

@@ -1,0 +1,137 @@
+#include "core/alignment.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pghive.h"
+#include "embed/word2vec.h"
+
+namespace pghive::core {
+namespace {
+
+// An integration-style graph: "Org" and "Company" nodes play the same role
+// (same properties, same relationships to Person), while "Person" differs.
+struct Fixture {
+  pg::PropertyGraph graph;
+  SchemaGraph schema;
+  std::unique_ptr<embed::Word2Vec> embedder;
+
+  Fixture() {
+    std::vector<pg::NodeId> orgs, companies, people;
+    for (int i = 0; i < 20; ++i) {
+      pg::NodeId org = graph.AddNode({"Org"});
+      graph.SetNodeProperty(org, "name", pg::Value("o"));
+      graph.SetNodeProperty(org, "url", pg::Value("u"));
+      orgs.push_back(org);
+      pg::NodeId company = graph.AddNode({"Company"});
+      graph.SetNodeProperty(company, "name", pg::Value("c"));
+      graph.SetNodeProperty(company, "url", pg::Value("u"));
+      companies.push_back(company);
+      pg::NodeId person = graph.AddNode({"Person"});
+      graph.SetNodeProperty(person, "name", pg::Value("p"));
+      graph.SetNodeProperty(person, "bday", pg::Value("1999-01-01"));
+      people.push_back(person);
+    }
+    // Same relationship context for Org and Company.
+    for (int i = 0; i < 20; ++i) {
+      graph.AddEdge(people[i], orgs[i], {"WORKS_AT"});
+      graph.AddEdge(people[i], companies[i], {"WORKS_AT"});
+    }
+
+    PgHiveOptions options;
+    PgHive pipeline(&graph, options);
+    EXPECT_TRUE(pipeline.Run().ok());
+    schema = pipeline.schema();
+
+    embed::Word2VecOptions w2v;
+    w2v.epochs = 10;
+    w2v.identity_weight = 0.2f;  // Favor context for alignment probing.
+    embedder = std::make_unique<embed::Word2Vec>(&graph.vocab(), w2v);
+    embedder->Train(embed::BuildLabelCorpus(graph));
+  }
+};
+
+TEST(AlignmentTest, SuggestsOrgCompanyPair) {
+  Fixture f;
+  AlignmentOptions options;
+  options.min_label_similarity = 0.3;
+  auto suggestions =
+      SuggestAlignments(f.schema, f.graph.vocab(), *f.embedder, options);
+  ASSERT_FALSE(suggestions.empty());
+  // The best suggestion pairs Org and Company.
+  const auto& types = f.schema.node_types();
+  bool found = false;
+  for (const auto& s : suggestions) {
+    std::string a = types[s.type_a].Name(f.graph.vocab(), s.type_a);
+    std::string b = types[s.type_b].Name(f.graph.vocab(), s.type_b);
+    if ((a == "Org" && b == "Company") || (a == "Company" && b == "Org")) {
+      found = true;
+      EXPECT_GT(s.structure_similarity, 0.9);
+    }
+    // Person must never be aligned with anything: its property set differs.
+    EXPECT_NE(a, "Person");
+    EXPECT_NE(b, "Person");
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AlignmentTest, StructureGateBlocksDissimilarTypes) {
+  Fixture f;
+  AlignmentOptions options;
+  options.min_label_similarity = -1.0;  // Labels always pass...
+  options.min_structure_similarity = 1.01;  // ...but structure never does.
+  auto suggestions =
+      SuggestAlignments(f.schema, f.graph.vocab(), *f.embedder, options);
+  EXPECT_TRUE(suggestions.empty());
+}
+
+TEST(AlignmentTest, ApplyMergesSuggestedTypes) {
+  Fixture f;
+  size_t before = f.schema.num_node_types();
+  AlignmentOptions options;
+  options.min_label_similarity = 0.3;
+  auto suggestions =
+      SuggestAlignments(f.schema, f.graph.vocab(), *f.embedder, options);
+  ASSERT_FALSE(suggestions.empty());
+  size_t merges = ApplyAlignments(suggestions, &f.schema);
+  EXPECT_GT(merges, 0u);
+  EXPECT_EQ(f.schema.num_node_types(), before - merges);
+  // The merged type keeps both labels and all instances (Lemma 1).
+  bool found_merged = false;
+  for (size_t i = 0; i < f.schema.node_types().size(); ++i) {
+    const NodeType& t = f.schema.node_types()[i];
+    if (t.labels.size() >= 2) {
+      EXPECT_EQ(t.instance_count, 40u);
+      found_merged = true;
+    }
+  }
+  EXPECT_TRUE(found_merged);
+}
+
+TEST(AlignmentTest, ApplyWithNoSuggestionsIsNoop) {
+  Fixture f;
+  size_t before = f.schema.num_node_types();
+  EXPECT_EQ(ApplyAlignments({}, &f.schema), 0u);
+  EXPECT_EQ(f.schema.num_node_types(), before);
+}
+
+TEST(AlignmentTest, TransitiveChainsMergeOnce) {
+  // Three types pairwise aligned must collapse into one.
+  SchemaGraph schema;
+  for (uint32_t i = 0; i < 3; ++i) {
+    NodeType t;
+    t.labels = {i};
+    t.instances = {i};
+    t.instance_count = 1;
+    schema.node_types().push_back(t);
+  }
+  std::vector<AlignmentSuggestion> suggestions = {
+      {0, 1, 1.0, 1.0}, {1, 2, 1.0, 1.0}, {0, 2, 1.0, 1.0}};
+  size_t merges = ApplyAlignments(suggestions, &schema);
+  EXPECT_EQ(merges, 2u);
+  ASSERT_EQ(schema.num_node_types(), 1u);
+  EXPECT_EQ(schema.node_types()[0].labels.size(), 3u);
+  EXPECT_EQ(schema.node_types()[0].instance_count, 3u);
+}
+
+}  // namespace
+}  // namespace pghive::core

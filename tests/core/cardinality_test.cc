@@ -1,0 +1,110 @@
+#include "core/cardinality.h"
+
+#include <gtest/gtest.h>
+
+namespace pghive::core {
+namespace {
+
+struct Fixture {
+  pg::PropertyGraph graph;
+  std::vector<pg::NodeId> people;
+  std::vector<pg::NodeId> orgs;
+
+  Fixture() {
+    for (int i = 0; i < 6; ++i) people.push_back(graph.AddNode({"Person"}));
+    for (int i = 0; i < 2; ++i) orgs.push_back(graph.AddNode({"Org"}));
+  }
+};
+
+TEST(CardinalityTest, ManyToOneDetected) {
+  Fixture f;
+  std::vector<uint64_t> edges;
+  // Every person works at exactly one org; orgs have many employees.
+  for (pg::NodeId p : f.people) {
+    edges.push_back(f.graph.AddEdge(p, f.orgs[p % 2], {"WORKS_AT"}));
+  }
+  Cardinality c = CardinalityForEdges(f.graph, edges);
+  EXPECT_EQ(c.max_out, 1u);
+  EXPECT_GT(c.max_in, 1u);
+  EXPECT_EQ(c.kind, CardinalityKind::kManyToOne);
+}
+
+TEST(CardinalityTest, OneToManyDetected) {
+  Fixture f;
+  std::vector<uint64_t> edges;
+  // One org employs (reversed direction) many people.
+  for (pg::NodeId p : f.people) {
+    edges.push_back(f.graph.AddEdge(f.orgs[0], p, {"EMPLOYS"}));
+  }
+  Cardinality c = CardinalityForEdges(f.graph, edges);
+  EXPECT_EQ(c.kind, CardinalityKind::kOneToMany);
+}
+
+TEST(CardinalityTest, OneToOneDetected) {
+  Fixture f;
+  std::vector<uint64_t> edges;
+  edges.push_back(f.graph.AddEdge(f.people[0], f.people[1], {"SPOUSE"}));
+  edges.push_back(f.graph.AddEdge(f.people[2], f.people[3], {"SPOUSE"}));
+  Cardinality c = CardinalityForEdges(f.graph, edges);
+  EXPECT_EQ(c.kind, CardinalityKind::kOneToOne);
+}
+
+TEST(CardinalityTest, ManyToManyDetected) {
+  Fixture f;
+  std::vector<uint64_t> edges;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 3; j < 6; ++j) {
+      edges.push_back(f.graph.AddEdge(f.people[i], f.people[j], {"KNOWS"}));
+    }
+  }
+  Cardinality c = CardinalityForEdges(f.graph, edges);
+  EXPECT_EQ(c.kind, CardinalityKind::kManyToMany);
+  EXPECT_EQ(c.max_out, 3u);
+  EXPECT_EQ(c.max_in, 3u);
+}
+
+TEST(CardinalityTest, DistinctTargetsOnly) {
+  // Parallel edges to the same target count once for the degree bound.
+  Fixture f;
+  std::vector<uint64_t> edges;
+  edges.push_back(f.graph.AddEdge(f.people[0], f.orgs[0], {"R"}));
+  edges.push_back(f.graph.AddEdge(f.people[0], f.orgs[0], {"R"}));
+  Cardinality c = CardinalityForEdges(f.graph, edges);
+  EXPECT_EQ(c.max_out, 1u);
+  EXPECT_EQ(c.kind, CardinalityKind::kOneToOne);
+}
+
+TEST(CardinalityTest, EmptyEdgeListIsUnknown) {
+  Fixture f;
+  Cardinality c = CardinalityForEdges(f.graph, {});
+  EXPECT_EQ(c.kind, CardinalityKind::kUnknown);
+}
+
+TEST(CardinalityTest, ComputeForWholeSchema) {
+  Fixture f;
+  SchemaGraph schema;
+  EdgeType works;
+  for (pg::NodeId p : f.people) {
+    works.instances.push_back(f.graph.AddEdge(p, f.orgs[0], {"WORKS_AT"}));
+  }
+  schema.edge_types().push_back(works);
+  ComputeCardinalities(f.graph, &schema);
+  EXPECT_EQ(schema.edge_types()[0].cardinality.kind,
+            CardinalityKind::kManyToOne);
+}
+
+// Soundness (§4.7): the recorded bounds are upper bounds — no source in the
+// data exceeds max_out, no target exceeds max_in.
+TEST(CardinalityTest, BoundsAreSoundUpperBounds) {
+  Fixture f;
+  std::vector<uint64_t> edges;
+  edges.push_back(f.graph.AddEdge(f.people[0], f.people[1], {"R"}));
+  edges.push_back(f.graph.AddEdge(f.people[0], f.people[2], {"R"}));
+  edges.push_back(f.graph.AddEdge(f.people[3], f.people[1], {"R"}));
+  Cardinality c = CardinalityForEdges(f.graph, edges);
+  EXPECT_EQ(c.max_out, 2u);  // person0 -> {1,2}.
+  EXPECT_EQ(c.max_in, 2u);   // person1 <- {0,3}.
+}
+
+}  // namespace
+}  // namespace pghive::core

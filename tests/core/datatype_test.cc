@@ -1,0 +1,156 @@
+#include "core/datatype_inference.h"
+
+#include <gtest/gtest.h>
+
+namespace pghive::core {
+namespace {
+
+// Builds a graph with one node type whose property `p` takes the provided
+// values, plus a matching schema.
+struct Fixture {
+  pg::PropertyGraph graph;
+  SchemaGraph schema;
+  pg::PropKeyId key;
+
+  explicit Fixture(const std::vector<pg::Value>& values) {
+    NodeType type;
+    for (const pg::Value& v : values) {
+      pg::NodeId id = graph.AddNode({"T"});
+      graph.SetNodeProperty(id, "p", v);
+      type.instances.push_back(id);
+      ++type.instance_count;
+    }
+    key = graph.vocab().FindKey("p");
+    type.properties[key].count = values.size();
+    schema.node_types().push_back(std::move(type));
+  }
+};
+
+TEST(DataTypeInferenceTest, HomogeneousInteger) {
+  Fixture f({pg::Value(static_cast<int64_t>(1)),
+             pg::Value(static_cast<int64_t>(2))});
+  InferDataTypes(f.graph, &f.schema);
+  EXPECT_EQ(f.schema.node_types()[0].properties.at(f.key).data_type,
+            pg::DataType::kInteger);
+}
+
+TEST(DataTypeInferenceTest, MixedIntFloatPromotesToFloat) {
+  Fixture f({pg::Value(static_cast<int64_t>(1)), pg::Value(2.5)});
+  InferDataTypes(f.graph, &f.schema);
+  EXPECT_EQ(f.schema.node_types()[0].properties.at(f.key).data_type,
+            pg::DataType::kFloat);
+}
+
+TEST(DataTypeInferenceTest, DateStringsDetected) {
+  Fixture f({pg::Value("2024-01-01"), pg::Value("1999-12-19")});
+  InferDataTypes(f.graph, &f.schema);
+  EXPECT_EQ(f.schema.node_types()[0].properties.at(f.key).data_type,
+            pg::DataType::kDate);
+}
+
+TEST(DataTypeInferenceTest, OutlierDemotesToString) {
+  Fixture f({pg::Value("2024-01-01"), pg::Value("not a date")});
+  InferDataTypes(f.graph, &f.schema);
+  EXPECT_EQ(f.schema.node_types()[0].properties.at(f.key).data_type,
+            pg::DataType::kString);
+}
+
+TEST(DataTypeInferenceTest, UnseenPropertyDefaultsToString) {
+  Fixture f({pg::Value(static_cast<int64_t>(1))});
+  // Add a property entry the instances never carry.
+  f.schema.node_types()[0].properties[f.key + 100].count = 0;
+  InferDataTypes(f.graph, &f.schema);
+  EXPECT_EQ(f.schema.node_types()[0].properties.at(f.key + 100).data_type,
+            pg::DataType::kString);
+}
+
+TEST(DataTypeInferenceTest, EdgePropertiesInferred) {
+  pg::PropertyGraph graph;
+  pg::NodeId a = graph.AddNode({"A"});
+  pg::NodeId b = graph.AddNode({"B"});
+  pg::EdgeId e = graph.AddEdge(a, b, {"R"});
+  graph.SetEdgeProperty(e, "since", pg::Value("2020-05-05"));
+  SchemaGraph schema;
+  EdgeType type;
+  type.instances = {e};
+  type.instance_count = 1;
+  pg::PropKeyId key = graph.vocab().FindKey("since");
+  type.properties[key].count = 1;
+  schema.edge_types().push_back(std::move(type));
+  InferDataTypes(graph, &schema);
+  EXPECT_EQ(schema.edge_types()[0].properties.at(key).data_type,
+            pg::DataType::kDate);
+}
+
+TEST(DataTypeInferenceTest, SamplingMatchesFullScanOnHomogeneousData) {
+  std::vector<pg::Value> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(pg::Value(static_cast<int64_t>(i)));
+  }
+  Fixture f(values);
+  DataTypeOptions options;
+  options.sample = true;
+  options.sample_fraction = 0.05;
+  options.min_sample = 100;
+  InferDataTypes(f.graph, &f.schema, options);
+  EXPECT_EQ(f.schema.node_types()[0].properties.at(f.key).data_type,
+            pg::DataType::kInteger);
+}
+
+TEST(FullScanTypeTest, MatchesDirectJoin) {
+  Fixture f({pg::Value(static_cast<int64_t>(1)), pg::Value(2.5),
+             pg::Value(static_cast<int64_t>(3))});
+  EXPECT_EQ(FullScanType(f.graph, f.schema.node_types()[0].instances,
+                         /*edges=*/false, f.key),
+            pg::DataType::kFloat);
+}
+
+TEST(SamplingErrorTest, ZeroForHomogeneousProperty) {
+  std::vector<pg::Value> values(2000, pg::Value(static_cast<int64_t>(7)));
+  Fixture f(values);
+  DataTypeOptions options;
+  options.sample_fraction = 0.1;
+  options.min_sample = 100;
+  auto report = ComputeSamplingErrors(f.graph, f.schema, options);
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_EQ(report.errors[0], 0.0);
+  auto bins = report.BinFractions();
+  EXPECT_DOUBLE_EQ(bins[0], 1.0);
+}
+
+TEST(SamplingErrorTest, MinorityDisagreementMeasured) {
+  // 90% floats + 10% ints: the joined type is FLOAT, so roughly 10% of the
+  // sampled values individually infer INTEGER != FLOAT.
+  std::vector<pg::Value> values;
+  for (int i = 0; i < 900; ++i) values.push_back(pg::Value(1.5));
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(pg::Value(static_cast<int64_t>(i)));
+  }
+  Fixture f(values);
+  DataTypeOptions options;
+  options.sample_fraction = 0.5;
+  options.min_sample = 400;
+  auto report = ComputeSamplingErrors(f.graph, f.schema, options);
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_NEAR(report.errors[0], 0.1, 0.05);
+}
+
+TEST(SamplingErrorTest, BinFractionsSumToOne) {
+  SamplingErrorReport report;
+  report.errors = {0.0, 0.04, 0.07, 0.15, 0.5, 0.9};
+  auto bins = report.BinFractions();
+  EXPECT_DOUBLE_EQ(bins[0] + bins[1] + bins[2] + bins[3], 1.0);
+  EXPECT_DOUBLE_EQ(bins[0], 2.0 / 6);
+  EXPECT_DOUBLE_EQ(bins[1], 1.0 / 6);
+  EXPECT_DOUBLE_EQ(bins[2], 1.0 / 6);
+  EXPECT_DOUBLE_EQ(bins[3], 2.0 / 6);
+}
+
+TEST(SamplingErrorTest, EmptyReportIsAllLowBin) {
+  SamplingErrorReport report;
+  auto bins = report.BinFractions();
+  EXPECT_DOUBLE_EQ(bins[0], 1.0);
+}
+
+}  // namespace
+}  // namespace pghive::core

@@ -1,0 +1,144 @@
+#include "core/pgschema_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "core/constraints.h"
+#include "core/pghive.h"
+#include "core/serialize.h"
+#include "core/validator.h"
+#include "datasets/generator.h"
+#include "datasets/zoo.h"
+
+namespace pghive::core {
+namespace {
+
+TEST(PgSchemaParserTest, ParsesMinimalNodeType) {
+  pg::Vocabulary vocab;
+  auto result = ParsePgSchema(
+      "CREATE GRAPH TYPE S STRICT {\n"
+      "  (PersonType : Person {name STRING, OPTIONAL bday DATE})\n"
+      "}\n",
+      &vocab);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const SchemaGraph& schema = result.value();
+  ASSERT_EQ(schema.num_node_types(), 1u);
+  const NodeType& t = schema.node_types()[0];
+  ASSERT_EQ(t.labels.size(), 1u);
+  EXPECT_EQ(vocab.LabelName(t.labels[0]), "Person");
+  pg::PropKeyId name = vocab.FindKey("name");
+  pg::PropKeyId bday = vocab.FindKey("bday");
+  EXPECT_EQ(t.properties.at(name).requiredness, Requiredness::kMandatory);
+  EXPECT_EQ(t.properties.at(name).data_type, pg::DataType::kString);
+  EXPECT_EQ(t.properties.at(bday).requiredness, Requiredness::kOptional);
+  EXPECT_EQ(t.properties.at(bday).data_type, pg::DataType::kDate);
+}
+
+TEST(PgSchemaParserTest, ParsesMultiLabelAndEdge) {
+  pg::Vocabulary vocab;
+  auto result = ParsePgSchema(
+      "CREATE GRAPH TYPE S LOOSE {\n"
+      "  (PostType : Post & Message {content, OPEN}),\n"
+      "  (PersonType : Person),\n"
+      "  (:PersonType)-[LikesType : LIKES]->(:PostType) /* M:N */\n"
+      "}\n",
+      &vocab);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const SchemaGraph& schema = result.value();
+  EXPECT_EQ(schema.num_node_types(), 2u);
+  ASSERT_EQ(schema.num_edge_types(), 1u);
+  EXPECT_EQ(schema.node_types()[0].labels.size(), 2u);
+  const EdgeType& e = schema.edge_types()[0];
+  ASSERT_EQ(e.labels.size(), 1u);
+  EXPECT_EQ(vocab.LabelName(e.labels[0]), "LIKES");
+  EXPECT_EQ(e.cardinality.kind, CardinalityKind::kManyToMany);
+}
+
+TEST(PgSchemaParserTest, ParsesAbstractTypes) {
+  pg::Vocabulary vocab;
+  auto result = ParsePgSchema(
+      "CREATE GRAPH TYPE S STRICT {\n"
+      "  (ABSTRACT Abstract_0Type {x STRING})\n"
+      "}\n",
+      &vocab);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().node_types()[0].is_abstract());
+}
+
+TEST(PgSchemaParserTest, RejectsGarbage) {
+  pg::Vocabulary vocab;
+  EXPECT_FALSE(ParsePgSchema("DROP TABLE everything;", &vocab).ok());
+  EXPECT_FALSE(ParsePgSchema("CREATE GRAPH TYPE S STRICT { (", &vocab).ok());
+  EXPECT_FALSE(ParsePgSchema("", &vocab).ok());
+}
+
+// Round-trip property over every zoo dataset: serialize the discovered
+// schema, parse it back, and check type counts, labels, requiredness and
+// cardinalities survive.
+class RoundTripTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RoundTripTest, SerializeParseRoundTrip) {
+  datasets::Dataset dataset = datasets::Generate(
+      datasets::Zoo()[GetParam()], 0.05, 0x31 + GetParam());
+  PgHiveOptions options;
+  PgHive pipeline(&dataset.graph, options);
+  ASSERT_TRUE(pipeline.Run().ok());
+  const SchemaGraph& original = pipeline.schema();
+
+  std::string text = SerializePgSchema(original, dataset.graph.vocab(),
+                                       SchemaMode::kStrict);
+  pg::Vocabulary fresh_vocab;
+  auto parsed = ParsePgSchema(text, &fresh_vocab);
+  ASSERT_TRUE(parsed.ok()) << dataset.spec.name << ": "
+                           << parsed.status().ToString();
+  const SchemaGraph& round = parsed.value();
+  EXPECT_EQ(round.num_node_types(), original.num_node_types());
+  EXPECT_EQ(round.num_edge_types(), original.num_edge_types());
+  // Label sets per node type survive (compare by name).
+  for (size_t t = 0; t < original.num_node_types(); ++t) {
+    EXPECT_EQ(round.node_types()[t].labels.size(),
+              original.node_types()[t].labels.size());
+    EXPECT_EQ(round.node_types()[t].properties.size(),
+              original.node_types()[t].properties.size());
+  }
+  // Cardinality kinds survive for edge types.
+  for (size_t t = 0; t < original.num_edge_types(); ++t) {
+    if (original.edge_types()[t].cardinality.kind != CardinalityKind::kUnknown) {
+      EXPECT_EQ(round.edge_types()[t].cardinality.kind,
+                original.edge_types()[t].cardinality.kind)
+          << dataset.spec.name << " edge " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, RoundTripTest,
+                         ::testing::Range<size_t>(0, 8));
+
+// A parsed schema can drive the validator: requiredness survives the text.
+TEST(PgSchemaParserTest, ParsedSchemaValidates) {
+  pg::Vocabulary vocab;
+  auto parsed = ParsePgSchema(
+      "CREATE GRAPH TYPE S STRICT {\n"
+      "  (PersonType : Person {name STRING, OPTIONAL age INTEGER})\n"
+      "}\n",
+      &vocab);
+  ASSERT_TRUE(parsed.ok());
+  // Requiredness as parsed: name mandatory, age optional.
+  InferPropertyConstraints(&parsed.value());
+  pg::PropertyGraph good;
+  pg::NodeId n = good.AddNode({"Person"});
+  good.SetNodeProperty(n, "name", pg::Value("ok"));
+  // Note: vocab differs; rebuild against the parse vocab via shared ids.
+  pg::PropertyGraph graph(std::make_shared<pg::Vocabulary>(vocab));
+  pg::NodeId m = graph.AddNode({"Person"});
+  graph.SetNodeProperty(m, "name", pg::Value("ok"));
+  SchemaValidator validator(&parsed.value(), {});
+  EXPECT_TRUE(validator.Validate(graph).conforms());
+
+  pg::PropertyGraph bad(std::make_shared<pg::Vocabulary>(vocab));
+  bad.AddNode({"Person"});  // Missing mandatory name.
+  ValidationReport report = validator.Validate(bad);
+  EXPECT_EQ(report.CountKind(ViolationKind::kMissingMandatory), 1u);
+}
+
+}  // namespace
+}  // namespace pghive::core

@@ -1,0 +1,129 @@
+#include "core/removal.h"
+
+#include <gtest/gtest.h>
+
+#include "core/constraints.h"
+#include "core/type_extraction.h"
+#include "core/pghive.h"
+
+namespace pghive::core {
+namespace {
+
+struct Fixture {
+  pg::PropertyGraph graph;
+  SchemaGraph schema;
+
+  Fixture() {
+    for (int i = 0; i < 4; ++i) {
+      pg::NodeId n = graph.AddNode({"A"});
+      graph.SetNodeProperty(n, "x", pg::Value("1"));
+      if (i < 2) graph.SetNodeProperty(n, "opt", pg::Value("y"));
+    }
+    for (int i = 0; i < 3; ++i) {
+      pg::NodeId n = graph.AddNode({"B"});
+      graph.SetNodeProperty(n, "z", pg::Value("2"));
+    }
+    graph.AddEdge(0, 4, {"R"});
+    graph.AddEdge(1, 5, {"R"});
+
+    PgHiveOptions options;
+    PgHive pipeline(&graph, options);
+    EXPECT_TRUE(pipeline.Run().ok());
+    schema = pipeline.schema();
+  }
+};
+
+TEST(RemovalTest, RemovesInstancesAndUpdatesCounts) {
+  Fixture f;
+  pg::GraphBatch batch;
+  batch.node_ids = {0, 1};  // Two A nodes (the ones carrying "opt").
+  RemovalResult result = RemoveBatch(f.graph, batch, &f.schema);
+  EXPECT_EQ(result.nodes_removed, 2u);
+  EXPECT_EQ(result.edges_removed, 0u);
+  const NodeType* a = nullptr;
+  for (const auto& t : f.schema.node_types()) {
+    if (t.Name(f.graph.vocab(), 0) == "A") a = &t;
+  }
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->instance_count, 2u);
+  pg::PropKeyId opt = f.graph.vocab().FindKey("opt");
+  EXPECT_EQ(a->properties.at(opt).count, 0u);
+}
+
+TEST(RemovalTest, EmptyTypesAreDropped) {
+  Fixture f;
+  pg::GraphBatch batch;
+  batch.node_ids = {4, 5, 6};  // All B nodes.
+  RemovalResult result = RemoveBatch(f.graph, batch, &f.schema);
+  EXPECT_EQ(result.nodes_removed, 3u);
+  EXPECT_EQ(result.node_types_dropped, 1u);
+  for (const auto& t : f.schema.node_types()) {
+    EXPECT_NE(t.Name(f.graph.vocab(), 0), "B");
+  }
+}
+
+TEST(RemovalTest, EdgeRemoval) {
+  Fixture f;
+  pg::GraphBatch batch;
+  batch.edge_ids = {0, 1};
+  RemovalResult result = RemoveBatch(f.graph, batch, &f.schema);
+  EXPECT_EQ(result.edges_removed, 2u);
+  EXPECT_EQ(result.edge_types_dropped, 1u);
+  EXPECT_EQ(f.schema.num_edge_types(), 0u);
+}
+
+TEST(RemovalTest, ConstraintsRefreshAfterRemoval) {
+  Fixture f;
+  // "opt" is optional for A (2 of 4). Remove the two nodes *without* opt:
+  // the property becomes mandatory among the survivors.
+  pg::GraphBatch batch;
+  batch.node_ids = {2, 3};
+  RemoveBatch(f.graph, batch, &f.schema);
+  InferPropertyConstraints(&f.schema);
+  const NodeType* a = nullptr;
+  for (const auto& t : f.schema.node_types()) {
+    if (t.Name(f.graph.vocab(), 0) == "A") a = &t;
+  }
+  ASSERT_NE(a, nullptr);
+  pg::PropKeyId opt = f.graph.vocab().FindKey("opt");
+  EXPECT_EQ(a->properties.at(opt).requiredness, Requiredness::kMandatory);
+}
+
+TEST(RemovalTest, UnknownIdsAreIgnored) {
+  Fixture f;
+  size_t types_before = f.schema.num_node_types();
+  pg::GraphBatch batch;
+  batch.node_ids = {9999};
+  RemovalResult result = RemoveBatch(f.graph, batch, &f.schema);
+  EXPECT_EQ(result.nodes_removed, 0u);
+  EXPECT_EQ(f.schema.num_node_types(), types_before);
+}
+
+TEST(RemovalTest, RemoveThenReinsertRoundTrips) {
+  Fixture f;
+  size_t a_count_before = 0;
+  for (const auto& t : f.schema.node_types()) {
+    if (t.Name(f.graph.vocab(), 0) == "A") a_count_before = t.instance_count;
+  }
+  pg::GraphBatch batch;
+  batch.node_ids = {0};
+  RemoveBatch(f.graph, batch, &f.schema);
+
+  // Re-run Algorithm 2 with node 0 as a fresh candidate.
+  CandidateType candidate;
+  candidate.labels = f.graph.node(0).labels;
+  candidate.keys = f.graph.node(0).properties.Keys();
+  for (pg::PropKeyId k : candidate.keys) candidate.key_counts.emplace_back(k, 1);
+  candidate.instances = {0};
+  candidate.instance_count = 1;
+  ExtractNodeTypes({candidate}, {}, &f.schema);
+
+  for (const auto& t : f.schema.node_types()) {
+    if (t.Name(f.graph.vocab(), 0) == "A") {
+      EXPECT_EQ(t.instance_count, a_count_before);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pghive::core

@@ -1,0 +1,128 @@
+#include "core/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "core/constraints.h"
+#include "core/datatype_inference.h"
+#include "core/pghive.h"
+#include "pg/graph.h"
+
+namespace pghive::core {
+namespace {
+
+// A small discovered schema over the Fig. 1 running example.
+struct Fixture {
+  pg::PropertyGraph graph;
+  SchemaGraph schema;
+
+  Fixture() {
+    pg::NodeId bob = graph.AddNode({"Person"});
+    graph.SetNodeProperty(bob, "name", pg::Value("Bob"));
+    graph.SetNodeProperty(bob, "bday", pg::Value("1980-05-02"));
+    pg::NodeId john = graph.AddNode({"Person"});
+    graph.SetNodeProperty(john, "name", pg::Value("John"));
+    pg::NodeId org = graph.AddNode({"Org"});
+    graph.SetNodeProperty(org, "url", pg::Value("example.com"));
+    pg::EdgeId works = graph.AddEdge(bob, org, {"WORKS_AT"});
+    graph.SetEdgeProperty(works, "from",
+                          pg::Value(static_cast<int64_t>(2000)));
+    graph.AddEdge(john, org, {"WORKS_AT"});
+
+    PgHiveOptions options;
+    PgHive pipeline(&graph, options);
+    EXPECT_TRUE(pipeline.Run().ok());
+    schema = pipeline.schema();
+  }
+};
+
+TEST(SerializeTest, StrictPgSchemaContainsTypesAndConstraints) {
+  Fixture f;
+  std::string out =
+      SerializePgSchema(f.schema, f.graph.vocab(), SchemaMode::kStrict);
+  EXPECT_NE(out.find("CREATE GRAPH TYPE PgHiveSchema STRICT"),
+            std::string::npos);
+  EXPECT_NE(out.find("PersonType : Person"), std::string::npos);
+  EXPECT_NE(out.find("name STRING"), std::string::npos);
+  EXPECT_NE(out.find("OPTIONAL bday DATE"), std::string::npos);
+  EXPECT_NE(out.find("WORKS_AT"), std::string::npos);
+  EXPECT_NE(out.find("from INTEGER"), std::string::npos);
+  // Endpoint types referenced.
+  EXPECT_NE(out.find("(:PersonType)-["), std::string::npos);
+  EXPECT_NE(out.find("]->(:OrgType)"), std::string::npos);
+}
+
+TEST(SerializeTest, LooseModeOmitsDatatypesAndAddsOpen) {
+  Fixture f;
+  std::string out =
+      SerializePgSchema(f.schema, f.graph.vocab(), SchemaMode::kLoose);
+  EXPECT_NE(out.find("LOOSE"), std::string::npos);
+  EXPECT_EQ(out.find("STRING"), std::string::npos);
+  EXPECT_EQ(out.find("OPTIONAL"), std::string::npos);
+  EXPECT_NE(out.find("OPEN"), std::string::npos);
+}
+
+TEST(SerializeTest, AbstractTypesMarked) {
+  pg::Vocabulary vocab;
+  SchemaGraph schema;
+  NodeType abstract;
+  abstract.properties[vocab.InternKey("x")].count = 1;
+  abstract.instance_count = 1;
+  schema.node_types().push_back(abstract);
+  std::string out = SerializePgSchema(schema, vocab, SchemaMode::kStrict);
+  EXPECT_NE(out.find("ABSTRACT"), std::string::npos);
+  EXPECT_NE(out.find("Abstract_0Type"), std::string::npos);
+}
+
+TEST(SerializeTest, XsdIsWellFormedish) {
+  Fixture f;
+  std::string out = SerializeXsd(f.schema, f.graph.vocab());
+  EXPECT_EQ(out.find("<?xml"), 0u);
+  EXPECT_NE(out.find("<xs:schema"), std::string::npos);
+  EXPECT_NE(out.find("</xs:schema>"), std::string::npos);
+  EXPECT_NE(out.find("<xs:element name=\"Person\">"), std::string::npos);
+  EXPECT_NE(out.find("use=\"required\""), std::string::npos);
+  EXPECT_NE(out.find("use=\"optional\""), std::string::npos);
+  EXPECT_NE(out.find("xs:long"), std::string::npos);
+  // Balanced element tags.
+  size_t open = 0, pos = 0;
+  while ((pos = out.find("<xs:element", pos)) != std::string::npos) {
+    ++open;
+    pos += 5;
+  }
+  size_t close = 0;
+  pos = 0;
+  while ((pos = out.find("</xs:element>", pos)) != std::string::npos) {
+    ++close;
+    pos += 5;
+  }
+  EXPECT_EQ(open, close);
+}
+
+TEST(SerializeTest, XsdTypeNames) {
+  EXPECT_STREQ(XsdTypeName(pg::DataType::kInteger), "xs:long");
+  EXPECT_STREQ(XsdTypeName(pg::DataType::kFloat), "xs:double");
+  EXPECT_STREQ(XsdTypeName(pg::DataType::kBoolean), "xs:boolean");
+  EXPECT_STREQ(XsdTypeName(pg::DataType::kDate), "xs:date");
+  EXPECT_STREQ(XsdTypeName(pg::DataType::kDateTime), "xs:dateTime");
+  EXPECT_STREQ(XsdTypeName(pg::DataType::kString), "xs:string");
+  EXPECT_STREQ(XsdTypeName(pg::DataType::kNull), "xs:string");
+}
+
+TEST(SerializeTest, DescribeSchemaSummarizes) {
+  Fixture f;
+  std::string out = DescribeSchema(f.schema, f.graph.vocab());
+  EXPECT_NE(out.find("node types"), std::string::npos);
+  EXPECT_NE(out.find("Person"), std::string::npos);
+  EXPECT_NE(out.find("WORKS_AT"), std::string::npos);
+  EXPECT_NE(out.find("N:1"), std::string::npos);  // Both persons -> one org.
+}
+
+TEST(SerializeTest, CardinalityCommentInStrictMode) {
+  Fixture f;
+  std::string out =
+      SerializePgSchema(f.schema, f.graph.vocab(), SchemaMode::kStrict);
+  EXPECT_NE(out.find("/* N:1 */"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pghive::core

@@ -1,0 +1,128 @@
+#include "core/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pghive.h"
+
+namespace pghive::core {
+namespace {
+
+struct Fixture {
+  pg::PropertyGraph graph;
+  SchemaGraph schema;
+
+  Fixture() {
+    // 6 Person (4 with age), 2 Org; each person works at one of the orgs.
+    std::vector<pg::NodeId> people;
+    for (int i = 0; i < 6; ++i) {
+      pg::NodeId n = graph.AddNode({"Person"});
+      graph.SetNodeProperty(n, "name", pg::Value("p" + std::to_string(i)));
+      if (i < 4) {
+        graph.SetNodeProperty(n, "age",
+                              pg::Value(static_cast<int64_t>(30 + i % 2)));
+      }
+      people.push_back(n);
+    }
+    std::vector<pg::NodeId> orgs;
+    for (int i = 0; i < 2; ++i) {
+      pg::NodeId n = graph.AddNode({"Org"});
+      graph.SetNodeProperty(n, "name", pg::Value("o" + std::to_string(i)));
+      orgs.push_back(n);
+    }
+    for (int i = 0; i < 6; ++i) {
+      graph.AddEdge(people[i], orgs[i % 2], {"WORKS_AT"});
+    }
+    PgHiveOptions options;
+    PgHive pipeline(&graph, options);
+    EXPECT_TRUE(pipeline.Run().ok());
+    schema = pipeline.schema();
+  }
+
+  int TypeIndex(const char* name) {
+    for (size_t t = 0; t < schema.num_node_types(); ++t) {
+      if (schema.node_types()[t].Name(graph.vocab(), t) == name) {
+        return static_cast<int>(t);
+      }
+    }
+    return -1;
+  }
+};
+
+TEST(StatisticsTest, CountsAndSelectivities) {
+  Fixture f;
+  auto stats = SchemaStatistics::Compute(f.graph, f.schema);
+  ASSERT_EQ(stats.node_stats().size(), f.schema.num_node_types());
+  int person = f.TypeIndex("Person");
+  ASSERT_GE(person, 0);
+  EXPECT_EQ(stats.node_stats()[person].instance_count, 6u);
+  EXPECT_DOUBLE_EQ(stats.node_stats()[person].selectivity, 6.0 / 8.0);
+}
+
+TEST(StatisticsTest, PropertyFrequencyAndDistinctValues) {
+  Fixture f;
+  auto stats = SchemaStatistics::Compute(f.graph, f.schema);
+  int person = f.TypeIndex("Person");
+  ASSERT_GE(person, 0);
+  pg::PropKeyId age = f.graph.vocab().FindKey("age");
+  pg::PropKeyId name = f.graph.vocab().FindKey("name");
+  const auto& s = stats.node_stats()[person];
+  EXPECT_DOUBLE_EQ(s.property_frequency.at(age), 4.0 / 6.0);
+  EXPECT_DOUBLE_EQ(s.property_frequency.at(name), 1.0);
+  EXPECT_EQ(s.distinct_values.at(age), 2u);   // 30 and 31.
+  EXPECT_EQ(s.distinct_values.at(name), 6u);  // All distinct.
+}
+
+TEST(StatisticsTest, EdgeDegrees) {
+  Fixture f;
+  auto stats = SchemaStatistics::Compute(f.graph, f.schema);
+  ASSERT_EQ(stats.edge_stats().size(), 1u);
+  const auto& s = stats.edge_stats()[0];
+  EXPECT_EQ(s.instance_count, 6u);
+  EXPECT_EQ(s.distinct_sources, 6u);
+  EXPECT_EQ(s.distinct_targets, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_out_degree, 1.0);
+  EXPECT_DOUBLE_EQ(s.avg_in_degree, 3.0);
+  EXPECT_DOUBLE_EQ(s.selectivity, 1.0);
+}
+
+TEST(StatisticsTest, CardinalityEstimates) {
+  Fixture f;
+  auto stats = SchemaStatistics::Compute(f.graph, f.schema);
+  int person = f.TypeIndex("Person");
+  ASSERT_GE(person, 0);
+  // Scan(Person) = 6.
+  EXPECT_DOUBLE_EQ(stats.EstimateNodeScan(person), 6.0);
+  // Filter on age: 6 * 2/3 = 4.
+  pg::PropKeyId age = f.graph.vocab().FindKey("age");
+  EXPECT_DOUBLE_EQ(stats.EstimatePropertyFilter(person, age), 4.0);
+  // Expand WORKS_AT from 6 source rows: 6 * 1.0 = 6.
+  EXPECT_DOUBLE_EQ(stats.EstimateExpansion(0, 6.0), 6.0);
+}
+
+TEST(StatisticsTest, OutOfRangeIsZero) {
+  Fixture f;
+  auto stats = SchemaStatistics::Compute(f.graph, f.schema);
+  EXPECT_EQ(stats.EstimateNodeScan(999), 0.0);
+  EXPECT_EQ(stats.EstimateExpansion(999, 10.0), 0.0);
+  EXPECT_EQ(stats.EstimatePropertyFilter(0, 9999), 0.0);
+}
+
+TEST(StatisticsTest, ToStringMentionsTypes) {
+  Fixture f;
+  auto stats = SchemaStatistics::Compute(f.graph, f.schema);
+  std::string out = stats.ToString(f.graph.vocab(), f.schema);
+  EXPECT_NE(out.find("Person"), std::string::npos);
+  EXPECT_NE(out.find("WORKS_AT"), std::string::npos);
+  EXPECT_NE(out.find("avg_in=3"), std::string::npos);
+}
+
+TEST(StatisticsTest, EmptySchemaIsEmpty) {
+  pg::PropertyGraph graph;
+  SchemaGraph schema;
+  auto stats = SchemaStatistics::Compute(graph, schema);
+  EXPECT_TRUE(stats.node_stats().empty());
+  EXPECT_TRUE(stats.edge_stats().empty());
+}
+
+}  // namespace
+}  // namespace pghive::core

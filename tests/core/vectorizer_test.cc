@@ -1,0 +1,134 @@
+#include "core/vectorizer.h"
+
+#include <gtest/gtest.h>
+
+#include "embed/hash_embedder.h"
+
+namespace pghive::core {
+namespace {
+
+struct Fixture {
+  pg::PropertyGraph graph;
+  std::unique_ptr<embed::HashEmbedder> embedder;
+
+  Fixture() {
+    pg::NodeId bob = graph.AddNode({"Person"});
+    graph.SetNodeProperty(bob, "name", pg::Value("Bob"));
+    graph.SetNodeProperty(bob, "age", pg::Value(static_cast<int64_t>(44)));
+    pg::NodeId alice = graph.AddNode({});
+    graph.SetNodeProperty(alice, "name", pg::Value("Alice"));
+    pg::NodeId org = graph.AddNode({"Org"});
+    pg::EdgeId e = graph.AddEdge(bob, org, {"WORKS_AT"});
+    graph.SetEdgeProperty(e, "from", pg::Value(static_cast<int64_t>(2000)));
+    embedder = std::make_unique<embed::HashEmbedder>(&graph.vocab(), 4, 1);
+  }
+};
+
+TEST(VectorizerTest, NodeFeatureDimensions) {
+  Fixture f;
+  Vectorizer vectorizer(&f.graph, f.embedder.get());
+  auto m = vectorizer.NodeFeatures(pg::FullBatch(f.graph));
+  EXPECT_EQ(m.num, 3u);
+  // d + K: 4 + 3 distinct keys (name, age, from).
+  EXPECT_EQ(m.dim, 4u + f.graph.vocab().num_keys());
+}
+
+TEST(VectorizerTest, BinaryBlockMarksPresentKeys) {
+  Fixture f;
+  Vectorizer vectorizer(&f.graph, f.embedder.get());
+  auto m = vectorizer.NodeFeatures(pg::FullBatch(f.graph));
+  const size_t d = 4;
+  pg::PropKeyId name = f.graph.vocab().FindKey("name");
+  pg::PropKeyId age = f.graph.vocab().FindKey("age");
+  // Bob has name + age.
+  EXPECT_EQ(m.row(0)[d + name], 1.0f);
+  EXPECT_EQ(m.row(0)[d + age], 1.0f);
+  // Alice has name only.
+  EXPECT_EQ(m.row(1)[d + name], 1.0f);
+  EXPECT_EQ(m.row(1)[d + age], 0.0f);
+  // Org has nothing.
+  EXPECT_EQ(m.row(2)[d + name], 0.0f);
+}
+
+TEST(VectorizerTest, UnlabeledNodeHasZeroEmbeddingBlock) {
+  Fixture f;
+  Vectorizer vectorizer(&f.graph, f.embedder.get());
+  auto m = vectorizer.NodeFeatures(pg::FullBatch(f.graph));
+  for (size_t d = 0; d < 4; ++d) {
+    EXPECT_EQ(m.row(1)[d], 0.0f);  // Alice is unlabeled.
+  }
+  // Bob's embedding block is non-zero.
+  float norm = 0;
+  for (size_t d = 0; d < 4; ++d) norm += m.row(0)[d] * m.row(0)[d];
+  EXPECT_GT(norm, 0.5f);
+}
+
+TEST(VectorizerTest, EdgeFeatureLayout) {
+  Fixture f;
+  Vectorizer vectorizer(&f.graph, f.embedder.get());
+  auto m = vectorizer.EdgeFeatures(pg::FullBatch(f.graph));
+  EXPECT_EQ(m.num, 1u);
+  EXPECT_EQ(m.dim, 3 * 4 + f.graph.vocab().num_keys());
+  // Edge, src and dst blocks are all non-zero (all labeled).
+  for (int block = 0; block < 3; ++block) {
+    float norm = 0;
+    for (size_t d = 0; d < 4; ++d) {
+      float x = m.row(0)[block * 4 + d];
+      norm += x * x;
+    }
+    EXPECT_GT(norm, 0.5f) << "block " << block;
+  }
+  pg::PropKeyId from = f.graph.vocab().FindKey("from");
+  EXPECT_EQ(m.row(0)[12 + from], 1.0f);
+}
+
+TEST(VectorizerTest, IdenticalPatternsProduceIdenticalVectors) {
+  pg::PropertyGraph g;
+  pg::NodeId a = g.AddNode({"T"});
+  g.SetNodeProperty(a, "x", pg::Value("1"));
+  pg::NodeId b = g.AddNode({"T"});
+  g.SetNodeProperty(b, "x", pg::Value("different value"));
+  embed::HashEmbedder embedder(&g.vocab(), 4, 2);
+  Vectorizer vectorizer(&g, &embedder);
+  auto m = vectorizer.NodeFeatures(pg::FullBatch(g));
+  for (size_t d = 0; d < m.dim; ++d) {
+    EXPECT_EQ(m.row(0)[d], m.row(1)[d]);
+  }
+}
+
+TEST(VectorizerTest, NodeSetsContainLabelAndKeys) {
+  Fixture f;
+  Vectorizer vectorizer(&f.graph, f.embedder.get());
+  auto sets = vectorizer.NodeSets(pg::FullBatch(f.graph));
+  ASSERT_EQ(sets.size(), 3u);
+  // Bob: label token + 2 keys.
+  EXPECT_EQ(sets[0].size(), 3u);
+  // Alice: no label token, 1 key.
+  EXPECT_EQ(sets[1].size(), 1u);
+  // Org: label only.
+  EXPECT_EQ(sets[2].size(), 1u);
+}
+
+TEST(VectorizerTest, EdgeSetsDistinguishEndpointRoles) {
+  // Same label set as source vs as target must produce different elements.
+  pg::PropertyGraph g;
+  pg::NodeId a = g.AddNode({"A"});
+  pg::NodeId b = g.AddNode({"B"});
+  g.AddEdge(a, b, {"R"});
+  g.AddEdge(b, a, {"R"});
+  embed::HashEmbedder embedder(&g.vocab(), 4, 3);
+  Vectorizer vectorizer(&g, &embedder);
+  auto sets = vectorizer.EdgeSets(pg::FullBatch(g));
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_NE(sets[0], sets[1]);
+}
+
+TEST(MinHashElementTest, UniversesAreDisjoint) {
+  EXPECT_NE(MinHashLabelElement(1), MinHashSrcElement(1));
+  EXPECT_NE(MinHashSrcElement(1), MinHashDstElement(1));
+  EXPECT_NE(MinHashDstElement(1), MinHashKeyElement(1));
+  EXPECT_NE(MinHashLabelElement(1), MinHashKeyElement(1));
+}
+
+}  // namespace
+}  // namespace pghive::core

@@ -1,0 +1,118 @@
+#include "datasets/noise.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/generator.h"
+#include "datasets/zoo.h"
+
+namespace pghive::datasets {
+namespace {
+
+size_t CountNodeProps(const pg::PropertyGraph& g) {
+  size_t total = 0;
+  for (const pg::Node& n : g.nodes()) total += n.properties.size();
+  return total;
+}
+
+size_t CountLabeledNodes(const pg::PropertyGraph& g) {
+  size_t total = 0;
+  for (const pg::Node& n : g.nodes()) total += !n.labels.empty();
+  return total;
+}
+
+TEST(NoiseTest, ZeroNoiseIsIdentity) {
+  Dataset d = Generate(PoleSpec(), 0.1, 1);
+  pg::PropertyGraph g = d.graph;
+  InjectNoise(&g, NoiseConfig{});
+  EXPECT_EQ(CountNodeProps(g), CountNodeProps(d.graph));
+  EXPECT_EQ(CountLabeledNodes(g), CountLabeledNodes(d.graph));
+}
+
+class PropertyRemovalTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PropertyRemovalTest, RemovalRateApproximatesConfig) {
+  const double rate = GetParam();
+  Dataset d = Generate(PoleSpec(), 0.5, 2);
+  pg::PropertyGraph g = d.graph;
+  NoiseConfig config;
+  config.property_removal = rate;
+  InjectNoise(&g, config);
+  double kept = static_cast<double>(CountNodeProps(g)) /
+                static_cast<double>(CountNodeProps(d.graph));
+  EXPECT_NEAR(kept, 1.0 - rate, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, PropertyRemovalTest,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.4));
+
+class LabelAvailabilityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LabelAvailabilityTest, RetentionRateApproximatesConfig) {
+  const double availability = GetParam();
+  Dataset d = Generate(PoleSpec(), 0.5, 3);
+  pg::PropertyGraph g = d.graph;
+  NoiseConfig config;
+  config.label_availability = availability;
+  InjectNoise(&g, config);
+  double kept = static_cast<double>(CountLabeledNodes(g)) /
+                static_cast<double>(d.graph.num_nodes());
+  EXPECT_NEAR(kept, availability, 0.04);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, LabelAvailabilityTest,
+                         ::testing::Values(0.0, 0.5, 1.0));
+
+TEST(NoiseTest, ZeroAvailabilityStripsAllLabels) {
+  Dataset d = Generate(PoleSpec(), 0.2, 4);
+  pg::PropertyGraph g = d.graph;
+  NoiseConfig config;
+  config.label_availability = 0.0;
+  InjectNoise(&g, config);
+  EXPECT_EQ(CountLabeledNodes(g), 0u);
+  for (const pg::Edge& e : g.edges()) EXPECT_TRUE(e.labels.empty());
+}
+
+TEST(NoiseTest, EdgesAlsoDegraded) {
+  Dataset d = Generate(LdbcSpec(), 0.1, 5);
+  pg::PropertyGraph g = d.graph;
+  NoiseConfig config;
+  config.property_removal = 0.4;
+  InjectNoise(&g, config);
+  size_t before = 0, after = 0;
+  for (const pg::Edge& e : d.graph.edges()) before += e.properties.size();
+  for (const pg::Edge& e : g.edges()) after += e.properties.size();
+  EXPECT_LT(after, before);
+}
+
+TEST(NoiseTest, StructureIsPreserved) {
+  Dataset d = Generate(PoleSpec(), 0.2, 6);
+  pg::PropertyGraph g = d.graph;
+  NoiseConfig config;
+  config.property_removal = 0.4;
+  config.label_availability = 0.0;
+  InjectNoise(&g, config);
+  ASSERT_EQ(g.num_nodes(), d.graph.num_nodes());
+  ASSERT_EQ(g.num_edges(), d.graph.num_edges());
+  for (pg::EdgeId i = 0; i < g.num_edges(); ++i) {
+    EXPECT_EQ(g.edge(i).src, d.graph.edge(i).src);
+    EXPECT_EQ(g.edge(i).dst, d.graph.edge(i).dst);
+  }
+}
+
+TEST(NoiseTest, DeterministicInSeed) {
+  Dataset d = Generate(PoleSpec(), 0.2, 7);
+  pg::PropertyGraph g1 = d.graph;
+  pg::PropertyGraph g2 = d.graph;
+  NoiseConfig config;
+  config.property_removal = 0.3;
+  config.seed = 55;
+  InjectNoise(&g1, config);
+  InjectNoise(&g2, config);
+  EXPECT_EQ(CountNodeProps(g1), CountNodeProps(g2));
+  for (pg::NodeId i = 0; i < g1.num_nodes(); ++i) {
+    EXPECT_EQ(g1.node(i).properties.Keys(), g2.node(i).properties.Keys());
+  }
+}
+
+}  // namespace
+}  // namespace pghive::datasets

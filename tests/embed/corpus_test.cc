@@ -1,0 +1,72 @@
+#include "embed/corpus.h"
+
+#include <gtest/gtest.h>
+
+namespace pghive::embed {
+namespace {
+
+TEST(CorpusTest, EdgeSentencesContainTriples) {
+  pg::PropertyGraph g;
+  pg::NodeId a = g.AddNode({"A"});
+  pg::NodeId b = g.AddNode({"B"});
+  g.AddEdge(a, b, {"R"});
+  LabelCorpus corpus = BuildLabelCorpus(g);
+  ASSERT_EQ(corpus.sentences.size(), 1u);
+  EXPECT_EQ(corpus.sentences[0].size(), 3u);  // src, edge, dst tokens.
+  EXPECT_EQ(corpus.vocab_size, g.vocab().num_tokens());
+}
+
+TEST(CorpusTest, UnlabeledElementsAreSkipped) {
+  pg::PropertyGraph g;
+  pg::NodeId a = g.AddNode({});
+  pg::NodeId b = g.AddNode({"B"});
+  g.AddEdge(a, b, {"R"});
+  LabelCorpus corpus = BuildLabelCorpus(g);
+  ASSERT_EQ(corpus.sentences.size(), 1u);
+  EXPECT_EQ(corpus.sentences[0].size(), 2u);  // Edge + dst only.
+}
+
+TEST(CorpusTest, IsolatedLabeledNodesFormSingletonSentences) {
+  pg::PropertyGraph g;
+  g.AddNode({"Solo"});
+  g.AddNode({});  // Unlabeled isolated node: dropped.
+  LabelCorpus corpus = BuildLabelCorpus(g);
+  ASSERT_EQ(corpus.sentences.size(), 1u);
+  EXPECT_EQ(corpus.sentences[0].size(), 1u);
+}
+
+TEST(CorpusTest, FullyUnlabeledEdgeYieldsNoSentence) {
+  pg::PropertyGraph g;
+  pg::NodeId a = g.AddNode({});
+  pg::NodeId b = g.AddNode({});
+  g.AddEdge(a, b, {});
+  LabelCorpus corpus = BuildLabelCorpus(g);
+  EXPECT_TRUE(corpus.sentences.empty());
+}
+
+TEST(CorpusTest, BatchRestrictsScope) {
+  pg::PropertyGraph g;
+  pg::NodeId a = g.AddNode({"A"});
+  pg::NodeId b = g.AddNode({"B"});
+  g.AddNode({"C"});  // Not in batch.
+  g.AddEdge(a, b, {"R"});
+  pg::GraphBatch batch;
+  batch.node_ids = {a, b};
+  batch.edge_ids = {0};
+  LabelCorpus corpus = BuildLabelCorpus(g, batch);
+  EXPECT_EQ(corpus.sentences.size(), 1u);
+}
+
+TEST(CorpusTest, MultiLabelNodesUseSetToken) {
+  pg::PropertyGraph g;
+  pg::NodeId a = g.AddNode({"Person", "Student"});
+  pg::NodeId b = g.AddNode({"School"});
+  g.AddEdge(a, b, {"ATTENDS"});
+  LabelCorpus corpus = BuildLabelCorpus(g);
+  ASSERT_EQ(corpus.sentences.size(), 1u);
+  // The first token is the combined set token.
+  EXPECT_EQ(g.vocab().TokenName(corpus.sentences[0][0]), "Person|Student");
+}
+
+}  // namespace
+}  // namespace pghive::embed

@@ -1,0 +1,78 @@
+#include "embed/hash_embedder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pghive::embed {
+namespace {
+
+TEST(HashEmbedderTest, ZeroVectorForMissingLabel) {
+  pg::Vocabulary vocab;
+  HashEmbedder embedder(&vocab, 8, 1);
+  auto v = embedder.EmbedVec(pg::kNoToken);
+  for (float x : v) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(HashEmbedderTest, UnitNorm) {
+  pg::Vocabulary vocab;
+  pg::LabelId l = vocab.InternLabel("Person");
+  auto token = vocab.TokenForLabelSet({l});
+  HashEmbedder embedder(&vocab, 16, 1);
+  auto v = embedder.EmbedVec(token);
+  double norm2 = 0;
+  for (float x : v) norm2 += static_cast<double>(x) * x;
+  EXPECT_NEAR(norm2, 1.0, 1e-5);
+}
+
+TEST(HashEmbedderTest, DeterministicAcrossInstances) {
+  pg::Vocabulary vocab;
+  pg::LabelId l = vocab.InternLabel("Person");
+  auto token = vocab.TokenForLabelSet({l});
+  HashEmbedder a(&vocab, 8, 7);
+  HashEmbedder b(&vocab, 8, 7);
+  EXPECT_EQ(a.EmbedVec(token), b.EmbedVec(token));
+}
+
+TEST(HashEmbedderTest, StableAcrossInternOrder) {
+  // The embedding depends on the token *name*, not the interning order.
+  pg::Vocabulary v1, v2;
+  pg::LabelId a1 = v1.InternLabel("A");
+  v1.InternLabel("B");
+  pg::LabelId b2 = v2.InternLabel("B");
+  pg::LabelId a2 = v2.InternLabel("A");
+  (void)b2;
+  auto t1 = v1.TokenForLabelSet({a1});
+  auto t2 = v2.TokenForLabelSet({a2});
+  HashEmbedder e1(&v1, 8, 3);
+  HashEmbedder e2(&v2, 8, 3);
+  EXPECT_EQ(e1.EmbedVec(t1), e2.EmbedVec(t2));
+}
+
+TEST(HashEmbedderTest, DistinctTokensAreNotCollinear) {
+  pg::Vocabulary vocab;
+  std::vector<pg::LabelSetToken> tokens;
+  for (int i = 0; i < 20; ++i) {
+    pg::LabelId l = vocab.InternLabel("L" + std::to_string(i));
+    tokens.push_back(vocab.TokenForLabelSet({l}));
+  }
+  HashEmbedder embedder(&vocab, 16, 5);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    for (size_t j = i + 1; j < tokens.size(); ++j) {
+      float cos = CosineSimilarity(embedder.EmbedVec(tokens[i]),
+                                   embedder.EmbedVec(tokens[j]));
+      EXPECT_LT(std::abs(cos), 0.95f) << "tokens " << i << "," << j;
+    }
+  }
+}
+
+TEST(CosineSimilarityTest, Basics) {
+  EXPECT_FLOAT_EQ(CosineSimilarity({1, 0}, {1, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(CosineSimilarity({1, 0}, {0, 1}), 0.0f);
+  EXPECT_FLOAT_EQ(CosineSimilarity({1, 0}, {-1, 0}), -1.0f);
+  EXPECT_EQ(CosineSimilarity({0, 0}, {1, 0}), 0.0f);   // Zero vector.
+  EXPECT_EQ(CosineSimilarity({1, 0}, {1, 0, 0}), 0.0f);  // Size mismatch.
+}
+
+}  // namespace
+}  // namespace pghive::embed

@@ -1,0 +1,132 @@
+#include "embed/word2vec.h"
+
+#include <gtest/gtest.h>
+
+#include "pg/graph.h"
+
+namespace pghive::embed {
+namespace {
+
+// Builds a graph with two "communities": A-labeled nodes connect to
+// B-labeled nodes via R edges, and C-labeled nodes connect to D-labeled
+// nodes via S edges. A/B tokens co-occur; A/C never do.
+pg::PropertyGraph CommunityGraph() {
+  pg::PropertyGraph g;
+  std::vector<pg::NodeId> as, bs, cs, ds;
+  for (int i = 0; i < 30; ++i) {
+    as.push_back(g.AddNode({"A"}));
+    bs.push_back(g.AddNode({"B"}));
+    cs.push_back(g.AddNode({"C"}));
+    ds.push_back(g.AddNode({"D"}));
+  }
+  for (int i = 0; i < 30; ++i) {
+    g.AddEdge(as[i], bs[i], {"R"});
+    g.AddEdge(cs[i], ds[i], {"S"});
+  }
+  return g;
+}
+
+TEST(Word2VecTest, ZeroForMissingToken) {
+  pg::Vocabulary vocab;
+  Word2Vec model(&vocab, {});
+  auto v = model.EmbedVec(pg::kNoToken);
+  for (float x : v) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(Word2VecTest, UntrainedTokenOutOfRangeIsZero) {
+  pg::Vocabulary vocab;
+  Word2Vec model(&vocab, {});
+  auto v = model.EmbedVec(5);  // Never trained.
+  for (float x : v) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(Word2VecTest, IdenticalLabelSetsShareVector) {
+  pg::PropertyGraph g = CommunityGraph();
+  LabelCorpus corpus = BuildLabelCorpus(g);
+  Word2Vec model(&g.vocab(), {});
+  model.Train(corpus);
+  pg::LabelId a = g.vocab().FindLabel("A");
+  auto t1 = g.vocab().TokenForLabelSet({a});
+  auto t2 = g.vocab().TokenForLabelSet({a});
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(model.EmbedVec(t1), model.EmbedVec(t2));
+}
+
+TEST(Word2VecTest, TrainingIsDeterministic) {
+  pg::PropertyGraph g1 = CommunityGraph();
+  pg::PropertyGraph g2 = CommunityGraph();
+  LabelCorpus c1 = BuildLabelCorpus(g1);
+  LabelCorpus c2 = BuildLabelCorpus(g2);
+  Word2Vec m1(&g1.vocab(), {});
+  Word2Vec m2(&g2.vocab(), {});
+  m1.Train(c1);
+  m2.Train(c2);
+  auto t = g1.vocab().TokenForLabelSet({g1.vocab().FindLabel("A")});
+  EXPECT_EQ(m1.EmbedVec(t), m2.EmbedVec(t));
+}
+
+TEST(Word2VecTest, CoOccurringTokensMoreSimilarThanUnrelated) {
+  pg::PropertyGraph g = CommunityGraph();
+  LabelCorpus corpus = BuildLabelCorpus(g);
+  Word2VecOptions options;
+  options.epochs = 8;
+  Word2Vec model(&g.vocab(), options);
+  model.Train(corpus);
+  auto token = [&](const char* name) {
+    return g.vocab().TokenForLabelSet({g.vocab().FindLabel(name)});
+  };
+  float ab = model.Similarity(token("A"), token("B"));
+  float ac = model.Similarity(token("A"), token("C"));
+  EXPECT_GT(ab, ac);
+}
+
+TEST(Word2VecTest, EmbeddingsAreUnitNorm) {
+  pg::PropertyGraph g = CommunityGraph();
+  LabelCorpus corpus = BuildLabelCorpus(g);
+  Word2Vec model(&g.vocab(), {});
+  model.Train(corpus);
+  auto t = g.vocab().TokenForLabelSet({g.vocab().FindLabel("A")});
+  auto v = model.EmbedVec(t);
+  double norm2 = 0;
+  for (float x : v) norm2 += static_cast<double>(x) * x;
+  EXPECT_NEAR(norm2, 1.0, 1e-4);
+}
+
+TEST(Word2VecTest, IncrementalTrainingGrowsVocabulary) {
+  pg::PropertyGraph g;
+  pg::NodeId a = g.AddNode({"A"});
+  pg::NodeId b = g.AddNode({"B"});
+  g.AddEdge(a, b, {"R"});
+  Word2Vec model(&g.vocab(), {});
+  model.Train(BuildLabelCorpus(g));
+  size_t rows_before = model.num_rows();
+  // New batch introduces a new label.
+  pg::NodeId c = g.AddNode({"C"});
+  g.AddEdge(a, c, {"R2"});
+  model.Train(BuildLabelCorpus(g));
+  EXPECT_GT(model.num_rows(), rows_before);
+}
+
+TEST(Word2VecTest, DistinctTokensStayDistinguishable) {
+  // Even tokens with identical contexts must not collapse (the identity
+  // component guarantees this; §4.1 relies on distinct label sets being
+  // separable).
+  pg::PropertyGraph g;
+  for (int i = 0; i < 20; ++i) {
+    pg::NodeId hub = g.AddNode({"Hub"});
+    pg::NodeId x = g.AddNode({"X"});
+    pg::NodeId y = g.AddNode({"Y"});
+    g.AddEdge(hub, x, {"R"});
+    g.AddEdge(hub, y, {"R"});
+  }
+  Word2VecOptions options;
+  options.epochs = 10;
+  Word2Vec model(&g.vocab(), options);
+  model.Train(BuildLabelCorpus(g));
+  auto tx = g.vocab().TokenForLabelSet({g.vocab().FindLabel("X")});
+  auto ty = g.vocab().TokenForLabelSet({g.vocab().FindLabel("Y")});
+  EXPECT_LT(model.Similarity(tx, ty), 0.995f);
+}
+
+}  // namespace
+}  // namespace pghive::embed

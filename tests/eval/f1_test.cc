@@ -1,0 +1,76 @@
+#include "eval/f1.h"
+
+#include <gtest/gtest.h>
+
+namespace pghive::eval {
+namespace {
+
+TEST(MajorityF1Test, PerfectClustering) {
+  std::vector<uint32_t> assignment = {0, 0, 1, 1};
+  std::vector<uint32_t> truth = {5, 5, 7, 7};
+  F1Result r = MajorityF1(assignment, truth);
+  EXPECT_DOUBLE_EQ(r.f1, 1.0);
+  EXPECT_DOUBLE_EQ(r.coverage, 1.0);
+  EXPECT_EQ(r.num_clusters, 2u);
+  EXPECT_EQ(r.num_types, 2u);
+}
+
+TEST(MajorityF1Test, MixedClusterPenalizesMinority) {
+  // One cluster with 3 of type A and 1 of type B.
+  std::vector<uint32_t> assignment = {0, 0, 0, 0};
+  std::vector<uint32_t> truth = {1, 1, 1, 2};
+  F1Result r = MajorityF1(assignment, truth);
+  EXPECT_DOUBLE_EQ(r.f1, 0.75);
+}
+
+TEST(MajorityF1Test, FragmentationIsNotPenalized) {
+  // Type A split into two pure clusters: F1* stays 1 (the paper's metric),
+  // while the diagnostic coverage drops.
+  std::vector<uint32_t> assignment = {0, 0, 1, 1};
+  std::vector<uint32_t> truth = {3, 3, 3, 3};
+  F1Result r = MajorityF1(assignment, truth);
+  EXPECT_DOUBLE_EQ(r.f1, 1.0);
+  EXPECT_DOUBLE_EQ(r.coverage, 0.5);
+}
+
+TEST(MajorityF1Test, UnassignedElementsCountAgainst) {
+  std::vector<uint32_t> assignment = {0, 0, UINT32_MAX, UINT32_MAX};
+  std::vector<uint32_t> truth = {1, 1, 1, 1};
+  F1Result r = MajorityF1(assignment, truth);
+  EXPECT_DOUBLE_EQ(r.f1, 0.5);
+}
+
+TEST(MajorityF1Test, WorstCaseAllMixed) {
+  // Every cluster has a 50/50 mix.
+  std::vector<uint32_t> assignment = {0, 0, 1, 1};
+  std::vector<uint32_t> truth = {1, 2, 1, 2};
+  F1Result r = MajorityF1(assignment, truth);
+  EXPECT_DOUBLE_EQ(r.f1, 0.5);
+}
+
+TEST(MajorityF1Test, EmptyInput) {
+  F1Result r = MajorityF1({}, {});
+  EXPECT_EQ(r.f1, 0.0);
+  EXPECT_EQ(r.num_clusters, 0u);
+}
+
+TEST(MajorityF1Test, SingletonClustersScorePerfect) {
+  // The metric's known degenerate optimum (discussed in EXPERIMENTS.md):
+  // all-singletons is trivially pure.
+  std::vector<uint32_t> assignment = {0, 1, 2, 3};
+  std::vector<uint32_t> truth = {9, 9, 8, 8};
+  F1Result r = MajorityF1(assignment, truth);
+  EXPECT_DOUBLE_EQ(r.f1, 1.0);
+  EXPECT_DOUBLE_EQ(r.coverage, 0.5);  // One of each type's two singletons.
+}
+
+TEST(MajorityF1Test, ClusterIdsNeedNotBeDense) {
+  std::vector<uint32_t> assignment = {100, 100, 7000};
+  std::vector<uint32_t> truth = {1, 1, 2};
+  F1Result r = MajorityF1(assignment, truth);
+  EXPECT_DOUBLE_EQ(r.f1, 1.0);
+  EXPECT_EQ(r.num_clusters, 2u);
+}
+
+}  // namespace
+}  // namespace pghive::eval

@@ -1,0 +1,118 @@
+#include "eval/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/zoo.h"
+
+namespace pghive::eval {
+namespace {
+
+datasets::Dataset& SharedPole() {
+  static datasets::Dataset* dataset = new datasets::Dataset(
+      datasets::Generate(datasets::PoleSpec(), 0.15, 31));
+  return *dataset;
+}
+
+TEST(HarnessTest, MethodNames) {
+  EXPECT_STREQ(MethodName(Method::kPgHiveElsh), "PG-HIVE-ELSH");
+  EXPECT_STREQ(MethodName(Method::kPgHiveMinHash), "PG-HIVE-MinHash");
+  EXPECT_STREQ(MethodName(Method::kGmmSchema), "GMM");
+  EXPECT_STREQ(MethodName(Method::kSchemI), "SchemI");
+}
+
+TEST(HarnessTest, PgHiveRunsCleanly) {
+  RunConfig config;
+  RunResult r = RunMethod(SharedPole(), config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.node_f1.f1, 0.95);
+  EXPECT_TRUE(r.has_edge_result);
+  EXPECT_GT(r.edge_f1.f1, 0.9);
+  EXPECT_GT(r.discovery_ms, 0.0);
+  EXPECT_GE(r.total_ms, r.discovery_ms);
+  EXPECT_EQ(r.batch_ms.size(), 1u);
+}
+
+TEST(HarnessTest, BaselinesFailBelowFullLabels) {
+  for (Method m : {Method::kGmmSchema, Method::kSchemI}) {
+    RunConfig config;
+    config.method = m;
+    config.label_availability = 0.5;
+    RunResult r = RunMethod(SharedPole(), config);
+    EXPECT_FALSE(r.ok) << MethodName(m);
+    EXPECT_FALSE(r.error.empty());
+  }
+}
+
+TEST(HarnessTest, PgHiveSurvivesZeroLabels) {
+  RunConfig config;
+  config.label_availability = 0.0;
+  config.noise = 0.2;
+  RunResult r = RunMethod(SharedPole(), config);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.node_f1.f1, 0.7);
+}
+
+TEST(HarnessTest, GmmProducesNoEdgeResult) {
+  RunConfig config;
+  config.method = Method::kGmmSchema;
+  RunResult r = RunMethod(SharedPole(), config);
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.has_edge_result);
+}
+
+TEST(HarnessTest, SchemiProducesEdgeResult) {
+  RunConfig config;
+  config.method = Method::kSchemI;
+  RunResult r = RunMethod(SharedPole(), config);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.has_edge_result);
+}
+
+TEST(HarnessTest, OriginalDatasetUntouched) {
+  size_t props_before = 0;
+  for (const pg::Node& n : SharedPole().graph.nodes()) {
+    props_before += n.properties.size();
+  }
+  RunConfig config;
+  config.noise = 0.4;
+  config.label_availability = 0.0;
+  (void)RunMethod(SharedPole(), config);
+  size_t props_after = 0;
+  for (const pg::Node& n : SharedPole().graph.nodes()) {
+    props_after += n.properties.size();
+  }
+  EXPECT_EQ(props_before, props_after);
+}
+
+TEST(HarnessTest, IncrementalModeReportsPerBatchTimes) {
+  RunConfig config;
+  config.num_batches = 5;
+  RunResult r = RunMethod(SharedPole(), config);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.batch_ms.size(), 5u);
+  for (double ms : r.batch_ms) EXPECT_GE(ms, 0.0);
+}
+
+TEST(HarnessTest, ManualParametersPropagate) {
+  RunConfig config;
+  config.adaptive = false;
+  config.bucket_length = 1.0;
+  config.num_tables = 8;
+  RunResult r = RunMethod(SharedPole(), config);
+  EXPECT_TRUE(r.ok);
+}
+
+TEST(EnvScaleTest, DefaultsToOne) {
+  unsetenv("PGHIVE_SCALE");
+  EXPECT_DOUBLE_EQ(EnvScale(), 1.0);
+  setenv("PGHIVE_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(EnvScale(), 0.5);
+  setenv("PGHIVE_SCALE", "-3", 1);
+  EXPECT_DOUBLE_EQ(EnvScale(), 1.0);
+  setenv("PGHIVE_SCALE", "1000", 1);
+  EXPECT_DOUBLE_EQ(EnvScale(), 100.0);  // Clamped.
+  unsetenv("PGHIVE_SCALE");
+}
+
+}  // namespace
+}  // namespace pghive::eval

@@ -1,0 +1,76 @@
+#include "eval/ranks.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pghive::eval {
+namespace {
+
+TEST(AverageRanksTest, ClearOrdering) {
+  // Method 0 always best, method 2 always worst.
+  std::vector<std::vector<double>> scores = {
+      {0.9, 0.95, 0.99},
+      {0.8, 0.85, 0.9},
+      {0.1, 0.2, 0.3},
+  };
+  auto ranks = AverageRanks(scores);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 3.0);
+}
+
+TEST(AverageRanksTest, TiesShareMeanRank) {
+  std::vector<std::vector<double>> scores = {
+      {0.9},
+      {0.9},
+      {0.1},
+  };
+  auto ranks = AverageRanks(scores);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 3.0);
+}
+
+TEST(AverageRanksTest, MixedCases) {
+  // Method 0 wins case 0, method 1 wins case 1.
+  std::vector<std::vector<double>> scores = {
+      {0.9, 0.5},
+      {0.5, 0.9},
+  };
+  auto ranks = AverageRanks(scores);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.5);
+}
+
+TEST(AverageRanksTest, MissingResultsRankLast) {
+  std::vector<std::vector<double>> scores = {
+      {0.5, 0.5},
+      {-1.0, -1.0},  // Encodes "no result".
+  };
+  auto ranks = AverageRanks(scores);
+  EXPECT_LT(ranks[0], ranks[1]);
+}
+
+TEST(AverageRanksTest, EmptyInput) {
+  EXPECT_TRUE(AverageRanks({}).empty());
+}
+
+TEST(NemenyiTest, KnownValues) {
+  // CD = q_k * sqrt(k(k+1)/(6n)); q_4 = 2.569.
+  double cd = NemenyiCriticalDifference(4, 40);
+  EXPECT_NEAR(cd, 2.569 * std::sqrt(20.0 / 240.0), 1e-9);
+}
+
+TEST(NemenyiTest, ShrinksWithMoreCases) {
+  EXPECT_GT(NemenyiCriticalDifference(4, 10),
+            NemenyiCriticalDifference(4, 100));
+}
+
+TEST(NemenyiTest, GrowsWithMoreMethods) {
+  EXPECT_LT(NemenyiCriticalDifference(2, 40),
+            NemenyiCriticalDifference(6, 40));
+}
+
+}  // namespace
+}  // namespace pghive::eval

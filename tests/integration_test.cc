@@ -1,0 +1,176 @@
+// Cross-module integration tests: the full PG-HIVE pipeline against every
+// zoo dataset and the paper's headline claims at reduced scale.
+
+#include <gtest/gtest.h>
+
+#include "core/serialize.h"
+#include "datasets/generator.h"
+#include "datasets/zoo.h"
+#include "eval/harness.h"
+
+namespace pghive {
+namespace {
+
+// Shared generated datasets (expensive; built once).
+std::vector<datasets::Dataset>& SharedZoo() {
+  static auto* zoo = [] {
+    auto* out = new std::vector<datasets::Dataset>();
+    uint64_t seed = 0xABC;
+    for (const datasets::DatasetSpec& spec : datasets::Zoo()) {
+      out->push_back(datasets::Generate(spec, 0.15, seed++));
+    }
+    return out;
+  }();
+  return *zoo;
+}
+
+class DatasetSweepTest : public ::testing::TestWithParam<size_t> {};
+
+// PG-HIVE-ELSH discovers high-quality schemas on clean data everywhere.
+TEST_P(DatasetSweepTest, ElshQualityOnCleanData) {
+  eval::RunConfig config;
+  config.method = eval::Method::kPgHiveElsh;
+  eval::RunResult r = eval::RunMethod(SharedZoo()[GetParam()], config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.node_f1.f1, 0.85) << SharedZoo()[GetParam()].spec.name;
+  // The zoo reuses edge labels across endpoint-distinct ground-truth
+  // types (Table 2), which bounds the label-merged edge F1* below 1.
+  EXPECT_GT(r.edge_f1.f1, 0.7) << SharedZoo()[GetParam()].spec.name;
+}
+
+// ... and remains robust under the paper's harshest cell: 40% noise.
+TEST_P(DatasetSweepTest, ElshRobustUnderHeavyNoise) {
+  eval::RunConfig config;
+  config.method = eval::Method::kPgHiveElsh;
+  config.noise = 0.4;
+  eval::RunResult r = eval::RunMethod(SharedZoo()[GetParam()], config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.node_f1.f1, 0.8) << SharedZoo()[GetParam()].spec.name;
+}
+
+// MinHash variant matches ELSH quality (Fig. 3: no significant difference).
+TEST_P(DatasetSweepTest, MinHashComparableToElsh) {
+  eval::RunConfig elsh;
+  elsh.method = eval::Method::kPgHiveElsh;
+  eval::RunConfig minhash;
+  minhash.method = eval::Method::kPgHiveMinHash;
+  auto r_elsh = eval::RunMethod(SharedZoo()[GetParam()], elsh);
+  auto r_minhash = eval::RunMethod(SharedZoo()[GetParam()], minhash);
+  ASSERT_TRUE(r_elsh.ok && r_minhash.ok);
+  EXPECT_NEAR(r_elsh.node_f1.f1, r_minhash.node_f1.f1, 0.15);
+}
+
+// PG-HIVE works with no labels at all; majority-F1 stays useful.
+TEST_P(DatasetSweepTest, WorksWithoutLabels) {
+  eval::RunConfig config;
+  config.label_availability = 0.0;
+  eval::RunResult r = eval::RunMethod(SharedZoo()[GetParam()], config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.node_f1.f1, 0.6) << SharedZoo()[GetParam()].spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetSweepTest,
+                         ::testing::Range<size_t>(0, 8));
+
+// The paper's comparison claims on the noisiest fully-labeled cell.
+TEST(HeadlineClaimsTest, PgHiveBeatsBaselinesUnderNoise) {
+  // MB6 is multi-label (SchemI's weakness) and property-noise-sensitive
+  // (GMM's weakness).
+  const datasets::Dataset& dataset = SharedZoo()[1];
+  double scores[3];
+  eval::Method methods[] = {eval::Method::kPgHiveElsh,
+                            eval::Method::kGmmSchema, eval::Method::kSchemI};
+  for (int i = 0; i < 3; ++i) {
+    eval::RunConfig config;
+    config.method = methods[i];
+    config.noise = 0.4;
+    eval::RunResult r = eval::RunMethod(dataset, config);
+    ASSERT_TRUE(r.ok) << r.error;
+    scores[i] = r.node_f1.f1;
+  }
+  EXPECT_GT(scores[0], scores[1]);  // PG-HIVE > GMM.
+  EXPECT_GT(scores[0], scores[2]);  // PG-HIVE > SchemI.
+}
+
+TEST(HeadlineClaimsTest, EdgeDiscoveryBeatsSchemi) {
+  const datasets::Dataset& hetio = SharedZoo()[2];
+  eval::RunConfig pghive;
+  eval::RunConfig schemi;
+  schemi.method = eval::Method::kSchemI;
+  auto r_pghive = eval::RunMethod(hetio, pghive);
+  auto r_schemi = eval::RunMethod(hetio, schemi);
+  ASSERT_TRUE(r_pghive.ok && r_schemi.ok);
+  EXPECT_GT(r_pghive.edge_f1.f1, r_schemi.edge_f1.f1);
+}
+
+// Incremental discovery reaches the same quality as the static run.
+TEST(IncrementalIntegrationTest, MatchesStaticQuality) {
+  const datasets::Dataset& pole = SharedZoo()[0];
+  eval::RunConfig static_config;
+  eval::RunConfig incremental_config;
+  incremental_config.num_batches = 10;
+  auto r_static = eval::RunMethod(pole, static_config);
+  auto r_incremental = eval::RunMethod(pole, incremental_config);
+  ASSERT_TRUE(r_static.ok && r_incremental.ok);
+  EXPECT_NEAR(r_static.node_f1.f1, r_incremental.node_f1.f1, 0.1);
+  EXPECT_EQ(r_incremental.batch_ms.size(), 10u);
+}
+
+// End-to-end serialization on a real discovered schema.
+TEST(SerializationIntegrationTest, ExportsValidDocuments) {
+  datasets::Dataset dataset =
+      datasets::Generate(datasets::LdbcSpec(), 0.1, 0xFE);
+  pg::PropertyGraph graph = dataset.graph;
+  core::PgHiveOptions options;
+  core::PgHive pipeline(&graph, options);
+  ASSERT_TRUE(pipeline.Run().ok());
+  std::string strict = core::SerializePgSchema(
+      pipeline.schema(), graph.vocab(), core::SchemaMode::kStrict);
+  std::string xsd = core::SerializeXsd(pipeline.schema(), graph.vocab());
+  EXPECT_NE(strict.find("Person"), std::string::npos);
+  EXPECT_NE(strict.find("KNOWS"), std::string::npos);
+  EXPECT_NE(xsd.find("xs:schema"), std::string::npos);
+  // The LDBC KNOWS edge must come out M:N, STUDY_AT as N:1.
+  bool found_mn = false;
+  for (size_t i = 0; i < pipeline.schema().edge_types().size(); ++i) {
+    const core::EdgeType& t = pipeline.schema().edge_types()[i];
+    if (t.Name(graph.vocab(), i) == "KNOWS") {
+      EXPECT_EQ(t.cardinality.kind, core::CardinalityKind::kManyToMany);
+      found_mn = true;
+    }
+  }
+  EXPECT_TRUE(found_mn);
+}
+
+// Datatype inference is consistent on generated data: every declared
+// property of a clean dataset infers its spec type or a sound
+// generalization.
+TEST(DataTypeIntegrationTest, InferredTypesAreSound) {
+  datasets::Dataset dataset =
+      datasets::Generate(datasets::PoleSpec(), 0.1, 0xDD);
+  pg::PropertyGraph graph = dataset.graph;
+  core::PgHiveOptions options;
+  core::PgHive pipeline(&graph, options);
+  ASSERT_TRUE(pipeline.Run().ok());
+  // POLE's Crime.date is a DATE; Person.age INTEGER.
+  pg::PropKeyId date = graph.vocab().FindKey("date");
+  pg::PropKeyId age = graph.vocab().FindKey("age");
+  bool checked_date = false, checked_age = false;
+  for (const auto& t : pipeline.schema().node_types()) {
+    auto it = t.properties.find(date);
+    if (it != t.properties.end() && it->second.count > 0) {
+      EXPECT_EQ(it->second.data_type, pg::DataType::kDate);
+      checked_date = true;
+    }
+    it = t.properties.find(age);
+    if (it != t.properties.end() && it->second.count > 0) {
+      EXPECT_EQ(it->second.data_type, pg::DataType::kInteger);
+      checked_age = true;
+    }
+  }
+  EXPECT_TRUE(checked_date);
+  EXPECT_TRUE(checked_age);
+}
+
+}  // namespace
+}  // namespace pghive

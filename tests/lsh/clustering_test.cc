@@ -1,0 +1,73 @@
+#include "lsh/clustering.h"
+
+#include <gtest/gtest.h>
+
+namespace pghive::lsh {
+namespace {
+
+TEST(ClusterSetTest, BuildsMembersFromAssignment) {
+  ClusterSet clusters(std::vector<uint32_t>{0, 1, 0, 2, 1});
+  EXPECT_EQ(clusters.num_items(), 5u);
+  EXPECT_EQ(clusters.num_clusters(), 3u);
+  EXPECT_EQ(clusters.members(0), (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(clusters.members(1), (std::vector<uint32_t>{1, 4}));
+  EXPECT_EQ(clusters.members(2), (std::vector<uint32_t>{3}));
+  EXPECT_EQ(clusters.cluster_of(3), 2u);
+}
+
+TEST(ClusterSetTest, EmptyAssignment) {
+  ClusterSet clusters;
+  EXPECT_EQ(clusters.num_items(), 0u);
+  EXPECT_EQ(clusters.num_clusters(), 0u);
+}
+
+TEST(ClusterBySignatureTest, GroupsIdenticalSignatures) {
+  // 4 items, T=2. Items 0 and 2 share signatures; 1 and 3 are unique.
+  std::vector<uint64_t> sigs = {7, 8, 1, 2, 7, 8, 7, 9};
+  auto clusters = ClusterBySignature(sigs, 4, 2);
+  EXPECT_EQ(clusters.num_clusters(), 3u);
+  EXPECT_EQ(clusters.cluster_of(0), clusters.cluster_of(2));
+  EXPECT_NE(clusters.cluster_of(0), clusters.cluster_of(1));
+  EXPECT_NE(clusters.cluster_of(0), clusters.cluster_of(3));
+}
+
+TEST(ClusterBySignatureTest, PartialAgreementIsNotEnough) {
+  // AND semantics: agreeing on one of two tables does not cluster.
+  std::vector<uint64_t> sigs = {7, 8, 7, 9};
+  auto clusters = ClusterBySignature(sigs, 2, 2);
+  EXPECT_EQ(clusters.num_clusters(), 2u);
+}
+
+TEST(ClusterByAnyCollisionTest, SingleTableAgreementSuffices) {
+  std::vector<uint64_t> sigs = {7, 8, 7, 9};
+  auto clusters = ClusterByAnyCollision(sigs, 2, 2);
+  EXPECT_EQ(clusters.num_clusters(), 1u);
+}
+
+TEST(ClusterByAnyCollisionTest, TransitiveChaining) {
+  // a~b in table 0, b~c in table 1 -> all three together.
+  std::vector<uint64_t> sigs = {
+      1, 10,   // a
+      1, 20,   // b
+      2, 20,   // c
+      3, 30,   // d isolated
+  };
+  auto clusters = ClusterByAnyCollision(sigs, 4, 2);
+  EXPECT_EQ(clusters.cluster_of(0), clusters.cluster_of(1));
+  EXPECT_EQ(clusters.cluster_of(1), clusters.cluster_of(2));
+  EXPECT_NE(clusters.cluster_of(0), clusters.cluster_of(3));
+  EXPECT_EQ(clusters.num_clusters(), 2u);
+}
+
+TEST(ClusterByAnyCollisionTest, BucketsAreTableScoped) {
+  // Same bucket value in *different* tables must not link items.
+  std::vector<uint64_t> sigs = {
+      5, 99,   // a: table0 bucket 5
+      88, 5,   // b: table1 bucket 5
+  };
+  auto clusters = ClusterByAnyCollision(sigs, 2, 2);
+  EXPECT_EQ(clusters.num_clusters(), 2u);
+}
+
+}  // namespace
+}  // namespace pghive::lsh

@@ -1,0 +1,208 @@
+#include "lsh/euclidean_lsh.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace pghive::lsh {
+namespace {
+
+std::vector<float> RandomUnit(size_t dim, util::Rng* rng) {
+  std::vector<float> v(dim);
+  double norm2 = 0;
+  for (auto& x : v) {
+    x = static_cast<float>(rng->NextGaussian());
+    norm2 += static_cast<double>(x) * x;
+  }
+  for (auto& x : v) x = static_cast<float>(x / std::sqrt(norm2));
+  return v;
+}
+
+TEST(EuclideanLshTest, IdenticalVectorsAlwaysCollide) {
+  EuclideanLshParams params;
+  params.num_tables = 20;
+  EuclideanLsh hasher(8, params);
+  util::Rng rng(1);
+  auto v = RandomUnit(8, &rng);
+  std::vector<uint64_t> h1(20), h2(20);
+  hasher.Hash(v.data(), h1.data());
+  hasher.Hash(v.data(), h2.data());
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(EuclideanLshTest, HashingIsDeterministicInSeed) {
+  EuclideanLshParams params;
+  params.seed = 99;
+  EuclideanLsh a(8, params), b(8, params);
+  util::Rng rng(2);
+  auto v = RandomUnit(8, &rng);
+  std::vector<uint64_t> ha(params.num_tables), hb(params.num_tables);
+  a.Hash(v.data(), ha.data());
+  b.Hash(v.data(), hb.data());
+  EXPECT_EQ(ha, hb);
+}
+
+// The collision rate in a single table decreases as distance grows.
+TEST(EuclideanLshTest, CollisionRateDecreasesWithDistance) {
+  const size_t dim = 16;
+  EuclideanLshParams params;
+  params.bucket_length = 1.0;
+  params.num_tables = 1;
+  EuclideanLsh hasher(dim, params);
+  util::Rng rng(3);
+  auto rate_at = [&](double distance) {
+    int collisions = 0;
+    const int trials = 2000;
+    for (int t = 0; t < trials; ++t) {
+      auto a = RandomUnit(dim, &rng);
+      auto dir = RandomUnit(dim, &rng);
+      std::vector<float> b(dim);
+      for (size_t d = 0; d < dim; ++d) {
+        b[d] = a[d] + static_cast<float>(distance) * dir[d];
+      }
+      uint64_t ha, hb;
+      hasher.Hash(a.data(), &ha);
+      hasher.Hash(b.data(), &hb);
+      collisions += ha == hb;
+    }
+    return collisions / 2000.0;
+  };
+  double near = rate_at(0.2);
+  double mid = rate_at(1.0);
+  double far = rate_at(4.0);
+  EXPECT_GT(near, mid);
+  EXPECT_GT(mid, far);
+}
+
+// Empirical single-table collision rates match the p-stable closed form.
+class CollisionProbabilityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CollisionProbabilityTest, MatchesClosedForm) {
+  const double distance = GetParam();
+  const size_t dim = 24;
+  EuclideanLshParams params;
+  params.bucket_length = 1.5;
+  params.num_tables = 1;
+  params.seed = 77;
+  EuclideanLsh hasher(dim, params);
+  util::Rng rng(4);
+  int collisions = 0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    auto a = RandomUnit(dim, &rng);
+    auto dir = RandomUnit(dim, &rng);
+    std::vector<float> b(dim);
+    for (size_t d = 0; d < dim; ++d) {
+      b[d] = a[d] + static_cast<float>(distance) * dir[d];
+    }
+    uint64_t ha, hb;
+    hasher.Hash(a.data(), &ha);
+    hasher.Hash(b.data(), &hb);
+    collisions += ha == hb;
+  }
+  double expected =
+      EuclideanLsh::CollisionProbability(distance, params.bucket_length);
+  EXPECT_NEAR(collisions / static_cast<double>(trials), expected, 0.05)
+      << "distance " << distance;
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, CollisionProbabilityTest,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 4.0));
+
+TEST(CollisionProbabilityTest, Boundaries) {
+  EXPECT_DOUBLE_EQ(EuclideanLsh::CollisionProbability(0.0, 1.0), 1.0);
+  double p_small_b = EuclideanLsh::CollisionProbability(1.0, 0.1);
+  double p_large_b = EuclideanLsh::CollisionProbability(1.0, 10.0);
+  EXPECT_LT(p_small_b, 0.1);
+  EXPECT_GT(p_large_b, 0.9);
+}
+
+// AND amplification: more tables can only refine the clustering.
+TEST(EuclideanLshTest, MoreTablesRefineAndClustering) {
+  const size_t dim = 8, num = 200;
+  util::Rng rng(5);
+  std::vector<float> data(num * dim);
+  for (auto& x : data) x = static_cast<float>(rng.NextGaussian());
+
+  EuclideanLshParams p1;
+  p1.num_tables = 2;
+  p1.bucket_length = 3.0;
+  EuclideanLshParams p2 = p1;
+  p2.num_tables = 16;
+  size_t c1 = EuclideanLsh(dim, p1).Cluster(data, num).num_clusters();
+  size_t c2 = EuclideanLsh(dim, p2).Cluster(data, num).num_clusters();
+  EXPECT_LE(c1, c2);
+}
+
+// Smaller buckets separate more (the Fig. 6 monotonicity).
+TEST(EuclideanLshTest, SmallerBucketsSeparateMore) {
+  const size_t dim = 8, num = 300;
+  util::Rng rng(6);
+  std::vector<float> data(num * dim);
+  for (auto& x : data) x = static_cast<float>(rng.NextGaussian());
+  EuclideanLshParams wide;
+  wide.bucket_length = 8.0;
+  wide.num_tables = 4;
+  EuclideanLshParams narrow = wide;
+  narrow.bucket_length = 0.25;
+  size_t c_wide = EuclideanLsh(dim, wide).Cluster(data, num).num_clusters();
+  size_t c_narrow =
+      EuclideanLsh(dim, narrow).Cluster(data, num).num_clusters();
+  EXPECT_LT(c_wide, c_narrow);
+}
+
+TEST(EuclideanLshTest, OrModeMergesMoreThanAndMode) {
+  const size_t dim = 8, num = 300;
+  util::Rng rng(7);
+  std::vector<float> data(num * dim);
+  for (auto& x : data) x = static_cast<float>(rng.NextGaussian());
+  EuclideanLshParams and_params;
+  and_params.num_tables = 8;
+  and_params.amplification = Amplification::kAnd;
+  EuclideanLshParams or_params = and_params;
+  or_params.amplification = Amplification::kOr;
+  size_t c_and =
+      EuclideanLsh(dim, and_params).Cluster(data, num).num_clusters();
+  size_t c_or = EuclideanLsh(dim, or_params).Cluster(data, num).num_clusters();
+  EXPECT_LE(c_or, c_and);
+}
+
+TEST(EuclideanLshTest, WellSeparatedClustersAreRecovered) {
+  // Three tight blobs far apart: AND clustering with a moderate bucket must
+  // recover exactly three clusters.
+  const size_t dim = 8;
+  util::Rng rng(8);
+  std::vector<float> data;
+  std::vector<uint32_t> truth;
+  for (int blob = 0; blob < 3; ++blob) {
+    for (int i = 0; i < 50; ++i) {
+      for (size_t d = 0; d < dim; ++d) {
+        double center = blob == 0 ? 0.0 : (blob == 1 ? 20.0 : -20.0);
+        data.push_back(
+            static_cast<float>(center + 0.01 * rng.NextGaussian()));
+      }
+      truth.push_back(blob);
+    }
+  }
+  EuclideanLshParams params;
+  params.bucket_length = 5.0;
+  params.num_tables = 10;
+  auto clusters = EuclideanLsh(dim, params).Cluster(data, 150);
+  // Bucket boundaries may occasionally split a blob, but blobs must never
+  // mix: every cluster is pure, and the blobs land in distinct clusters.
+  EXPECT_GE(clusters.num_clusters(), 3u);
+  EXPECT_LE(clusters.num_clusters(), 6u);
+  for (uint32_t c = 0; c < clusters.num_clusters(); ++c) {
+    uint32_t blob = truth[clusters.members(c)[0]];
+    for (uint32_t member : clusters.members(c)) {
+      EXPECT_EQ(truth[member], blob);
+    }
+  }
+  EXPECT_NE(clusters.cluster_of(0), clusters.cluster_of(50));
+  EXPECT_NE(clusters.cluster_of(50), clusters.cluster_of(100));
+}
+
+}  // namespace
+}  // namespace pghive::lsh

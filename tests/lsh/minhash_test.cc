@@ -1,0 +1,145 @@
+#include "lsh/minhash.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace pghive::lsh {
+namespace {
+
+TEST(MinHashTest, IdenticalSetsShareSignature) {
+  MinHashLsh hasher(MinHashParams{});
+  std::vector<uint64_t> set = {1, 5, 9};
+  std::vector<uint64_t> s1(hasher.params().num_hashes);
+  std::vector<uint64_t> s2(hasher.params().num_hashes);
+  hasher.Signature(set, s1.data());
+  hasher.Signature(set, s2.data());
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(MinHashTest, SignatureIsOrderInvariant) {
+  MinHashLsh hasher(MinHashParams{});
+  std::vector<uint64_t> a = {1, 5, 9};
+  std::vector<uint64_t> b = {9, 1, 5};
+  std::vector<uint64_t> sa(hasher.params().num_hashes);
+  std::vector<uint64_t> sb(hasher.params().num_hashes);
+  hasher.Signature(a, sa.data());
+  hasher.Signature(b, sb.data());
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(MinHashTest, EmptySetsOnlyCollideWithEmptySets) {
+  MinHashParams params;
+  MinHashLsh hasher(params);
+  std::vector<std::vector<uint64_t>> sets = {{}, {}, {1}, {1, 2}};
+  auto clusters = hasher.Cluster(sets);
+  EXPECT_EQ(clusters.cluster_of(0), clusters.cluster_of(1));
+  EXPECT_NE(clusters.cluster_of(0), clusters.cluster_of(2));
+}
+
+TEST(MinHashTest, DisjointSetsRarelyAgree) {
+  MinHashParams params;
+  params.num_hashes = 32;
+  MinHashLsh hasher(params);
+  std::vector<uint64_t> a = {1, 2, 3, 4};
+  std::vector<uint64_t> b = {100, 200, 300, 400};
+  std::vector<uint64_t> sa(32), sb(32);
+  hasher.Signature(a, sa.data());
+  hasher.Signature(b, sb.data());
+  EXPECT_LT(MinHashLsh::EstimateJaccard(sa.data(), sb.data(), 32), 0.15);
+}
+
+// Property: the fraction of agreeing signature slots estimates Jaccard.
+class JaccardEstimationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(JaccardEstimationTest, SignatureAgreementTracksJaccard) {
+  const double target = GetParam();
+  // Build two sets with |A|=|B|=200 and controlled overlap:
+  // J = o / (400 - o)  =>  o = 400 J / (1 + J).
+  const size_t size = 200;
+  size_t overlap = static_cast<size_t>(2.0 * size * target / (1.0 + target));
+  std::vector<uint64_t> a, b;
+  for (size_t i = 0; i < size; ++i) a.push_back(i);
+  for (size_t i = 0; i < overlap; ++i) b.push_back(i);
+  for (size_t i = 0; i < size - overlap; ++i) b.push_back(10000 + i);
+  double exact = ExactJaccard(
+      [&] {
+        auto s = a;
+        std::sort(s.begin(), s.end());
+        return s;
+      }(),
+      [&] {
+        auto s = b;
+        std::sort(s.begin(), s.end());
+        return s;
+      }());
+
+  MinHashParams params;
+  params.num_hashes = 256;  // Many hashes for a tight estimate.
+  MinHashLsh hasher(params);
+  std::vector<uint64_t> sa(256), sb(256);
+  hasher.Signature(a, sa.data());
+  hasher.Signature(b, sb.data());
+  double estimate = MinHashLsh::EstimateJaccard(sa.data(), sb.data(), 256);
+  EXPECT_NEAR(estimate, exact, 0.08) << "target J = " << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(Similarities, JaccardEstimationTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+TEST(MinHashTest, AndClusteringGroupsIdenticalSetsOnly) {
+  MinHashParams params;
+  params.amplification = Amplification::kAnd;
+  MinHashLsh hasher(params);
+  std::vector<std::vector<uint64_t>> sets = {{1, 2}, {1, 2}, {1, 2, 3}};
+  auto clusters = hasher.Cluster(sets);
+  EXPECT_EQ(clusters.cluster_of(0), clusters.cluster_of(1));
+  EXPECT_NE(clusters.cluster_of(0), clusters.cluster_of(2));
+}
+
+TEST(MinHashTest, BandingMergesHighlySimilarSets) {
+  MinHashParams params;
+  params.num_hashes = 24;
+  params.rows_per_band = 4;
+  params.amplification = Amplification::kOr;
+  MinHashLsh hasher(params);
+  // 19/21 overlap: J = 0.905, above the banding threshold (1/6)^(1/4)=0.64.
+  std::vector<uint64_t> big;
+  for (uint64_t i = 0; i < 20; ++i) big.push_back(i);
+  auto near = big;
+  near[0] = 999;
+  // Disjoint set stays apart.
+  std::vector<uint64_t> other = {500, 501, 502, 503, 504};
+  auto clusters = hasher.Cluster({big, near, other});
+  EXPECT_EQ(clusters.cluster_of(0), clusters.cluster_of(1));
+  EXPECT_NE(clusters.cluster_of(0), clusters.cluster_of(2));
+}
+
+TEST(MinHashTest, BandingThresholdFormula) {
+  MinHashParams params;
+  params.num_hashes = 24;
+  params.rows_per_band = 4;  // 6 bands.
+  MinHashLsh hasher(params);
+  EXPECT_NEAR(hasher.BandingThreshold(), std::pow(1.0 / 6.0, 0.25), 1e-9);
+}
+
+TEST(MinHashTest, RowsPerBandClampedToNumHashes) {
+  MinHashParams params;
+  params.num_hashes = 8;
+  params.rows_per_band = 100;
+  MinHashLsh hasher(params);
+  EXPECT_EQ(hasher.params().rows_per_band, 8u);
+}
+
+TEST(ExactJaccardTest, Basics) {
+  EXPECT_DOUBLE_EQ(ExactJaccard({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(ExactJaccard({1}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(ExactJaccard({1, 2}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(ExactJaccard({1, 2}, {2, 3}), 1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace pghive::lsh

@@ -1,0 +1,91 @@
+#include "pg/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pghive::pg {
+namespace {
+
+PropertyGraph MakeGraph(size_t nodes, size_t edges) {
+  PropertyGraph g;
+  for (size_t i = 0; i < nodes; ++i) g.AddNode({"T"});
+  for (size_t i = 0; i < edges; ++i) {
+    g.AddEdge(i % nodes, (i + 1) % nodes, {"R"});
+  }
+  return g;
+}
+
+TEST(BatchTest, FullBatchCoversEverything) {
+  PropertyGraph g = MakeGraph(10, 7);
+  GraphBatch batch = FullBatch(g);
+  EXPECT_EQ(batch.node_ids.size(), 10u);
+  EXPECT_EQ(batch.edge_ids.size(), 7u);
+  EXPECT_EQ(batch.size(), 17u);
+  EXPECT_FALSE(batch.empty());
+}
+
+TEST(BatchTest, EmptyGraphFullBatchIsEmpty) {
+  PropertyGraph g;
+  EXPECT_TRUE(FullBatch(g).empty());
+}
+
+class BatchSplitTest : public ::testing::TestWithParam<size_t> {};
+
+// Property: every node and edge appears in exactly one batch.
+TEST_P(BatchSplitTest, ExactPartition) {
+  const size_t num_batches = GetParam();
+  PropertyGraph g = MakeGraph(103, 57);
+  auto batches = SplitIntoBatches(g, num_batches, 42);
+  ASSERT_EQ(batches.size(), num_batches);
+  std::set<NodeId> nodes;
+  std::set<EdgeId> edges;
+  size_t node_total = 0, edge_total = 0;
+  for (const auto& b : batches) {
+    for (NodeId n : b.node_ids) {
+      EXPECT_TRUE(nodes.insert(n).second) << "duplicate node " << n;
+      ++node_total;
+    }
+    for (EdgeId e : b.edge_ids) {
+      EXPECT_TRUE(edges.insert(e).second) << "duplicate edge " << e;
+      ++edge_total;
+    }
+  }
+  EXPECT_EQ(node_total, 103u);
+  EXPECT_EQ(edge_total, 57u);
+}
+
+// Property: batches are balanced to within one element.
+TEST_P(BatchSplitTest, Balanced) {
+  const size_t num_batches = GetParam();
+  PropertyGraph g = MakeGraph(103, 57);
+  auto batches = SplitIntoBatches(g, num_batches, 7);
+  size_t min_n = SIZE_MAX, max_n = 0;
+  for (const auto& b : batches) {
+    min_n = std::min(min_n, b.node_ids.size());
+    max_n = std::max(max_n, b.node_ids.size());
+  }
+  EXPECT_LE(max_n - min_n, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, BatchSplitTest,
+                         ::testing::Values(1, 2, 3, 10, 103));
+
+TEST(BatchSplitTest, DeterministicInSeed) {
+  PropertyGraph g = MakeGraph(50, 20);
+  auto a = SplitIntoBatches(g, 5, 9);
+  auto b = SplitIntoBatches(g, 5, 9);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(a[i].node_ids, b[i].node_ids);
+    EXPECT_EQ(a[i].edge_ids, b[i].edge_ids);
+  }
+  auto c = SplitIntoBatches(g, 5, 10);
+  bool any_diff = false;
+  for (size_t i = 0; i < 5; ++i) {
+    if (a[i].node_ids != c[i].node_ids) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace pghive::pg

@@ -1,0 +1,101 @@
+#include "pg/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace pghive::pg {
+namespace {
+
+PropertyGraph SampleGraph() {
+  PropertyGraph g;
+  NodeId bob = g.AddNode({"Person"});
+  g.SetNodeProperty(bob, "name", Value("Bob"));
+  g.SetNodeProperty(bob, "age", Value(static_cast<int64_t>(44)));
+  g.SetNodeProperty(bob, "score", Value(2.5));
+  g.SetNodeProperty(bob, "active", Value(true));
+  NodeId alice = g.AddNode({});  // Unlabeled.
+  g.SetNodeProperty(alice, "name", Value("Alice"));
+  NodeId org = g.AddNode({"Org", "Company"});
+  EdgeId e = g.AddEdge(bob, org, {"WORKS_AT"});
+  g.SetEdgeProperty(e, "from", Value(static_cast<int64_t>(2000)));
+  g.AddEdge(alice, bob, {"KNOWS"});
+  return g;
+}
+
+TEST(GraphIoTest, RoundTripPreservesStructure) {
+  PropertyGraph g = SampleGraph();
+  auto loaded = LoadGraphText(SaveGraphText(g));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const PropertyGraph& g2 = loaded.value();
+  ASSERT_EQ(g2.num_nodes(), g.num_nodes());
+  ASSERT_EQ(g2.num_edges(), g.num_edges());
+  // Labels survive.
+  EXPECT_EQ(g2.node(0).labels.size(), 1u);
+  EXPECT_TRUE(g2.node(1).labels.empty());
+  EXPECT_EQ(g2.node(2).labels.size(), 2u);
+  // Properties survive with types re-probed.
+  PropKeyId name = g2.vocab().FindKey("name");
+  ASSERT_NE(name, UINT32_MAX);
+  EXPECT_EQ(g2.node(0).properties.Get(name)->AsString(), "Bob");
+  PropKeyId age = g2.vocab().FindKey("age");
+  EXPECT_TRUE(g2.node(0).properties.Get(age)->is_int());
+  PropKeyId active = g2.vocab().FindKey("active");
+  EXPECT_TRUE(g2.node(0).properties.Get(active)->is_bool());
+  // Edge endpoints survive.
+  EXPECT_EQ(g2.edge(0).src, 0u);
+  EXPECT_EQ(g2.edge(0).dst, 2u);
+}
+
+TEST(GraphIoTest, EscapesSpecialCharacters) {
+  PropertyGraph g;
+  NodeId n = g.AddNode({"La|bel"});
+  g.SetNodeProperty(n, "k=ey", Value("va;lue=with\nnewline"));
+  auto loaded = LoadGraphText(SaveGraphText(g));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const PropertyGraph& g2 = loaded.value();
+  PropKeyId key = g2.vocab().FindKey("k=ey");
+  ASSERT_NE(key, UINT32_MAX);
+  EXPECT_EQ(g2.node(0).properties.Get(key)->AsString(),
+            "va;lue=with\nnewline");
+}
+
+TEST(GraphIoTest, RejectsBadEdgeEndpoints) {
+  auto result = LoadGraphText("E 0 5 6 REL\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kParseError);
+}
+
+TEST(GraphIoTest, RejectsUnknownRecord) {
+  auto result = LoadGraphText("X what\n");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(GraphIoTest, SkipsCommentsAndBlankLines) {
+  auto result = LoadGraphText("# comment\n\nN 0 A \n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_nodes(), 1u);
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "pghive_graph_test.pg")
+          .string();
+  PropertyGraph g = SampleGraph();
+  ASSERT_TRUE(SaveGraphFile(g, path).ok());
+  auto loaded = LoadGraphFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.value().num_edges(), g.num_edges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileIsIoError) {
+  auto result = LoadGraphFile("/nonexistent/graph.pg");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace pghive::pg

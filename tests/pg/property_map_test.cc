@@ -1,0 +1,63 @@
+#include "pg/property_map.h"
+
+#include <gtest/gtest.h>
+
+namespace pghive::pg {
+namespace {
+
+TEST(PropertyMapTest, SetAndGet) {
+  PropertyMap map;
+  map.Set(3, Value("c"));
+  map.Set(1, Value("a"));
+  ASSERT_NE(map.Get(1), nullptr);
+  EXPECT_EQ(map.Get(1)->AsString(), "a");
+  EXPECT_EQ(map.Get(2), nullptr);
+  EXPECT_TRUE(map.Has(3));
+  EXPECT_FALSE(map.Has(0));
+}
+
+TEST(PropertyMapTest, EntriesStaySortedByKey) {
+  PropertyMap map;
+  map.Set(5, Value("e"));
+  map.Set(2, Value("b"));
+  map.Set(9, Value("i"));
+  map.Set(1, Value("a"));
+  KeyId prev = 0;
+  bool first = true;
+  for (const auto& [key, value] : map.entries()) {
+    if (!first) EXPECT_GT(key, prev);
+    prev = key;
+    first = false;
+  }
+  EXPECT_EQ(map.Keys(), (std::vector<KeyId>{1, 2, 5, 9}));
+}
+
+TEST(PropertyMapTest, SetOverwrites) {
+  PropertyMap map;
+  map.Set(1, Value("old"));
+  map.Set(1, Value("new"));
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.Get(1)->AsString(), "new");
+}
+
+TEST(PropertyMapTest, Erase) {
+  PropertyMap map;
+  map.Set(1, Value("a"));
+  map.Set(2, Value("b"));
+  EXPECT_TRUE(map.Erase(1));
+  EXPECT_FALSE(map.Erase(1));
+  EXPECT_FALSE(map.Has(1));
+  EXPECT_TRUE(map.Has(2));
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(PropertyMapTest, EmptyBehavior) {
+  PropertyMap map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Get(0), nullptr);
+  EXPECT_FALSE(map.Erase(0));
+  EXPECT_TRUE(map.Keys().empty());
+}
+
+}  // namespace
+}  // namespace pghive::pg

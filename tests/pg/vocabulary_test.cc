@@ -1,0 +1,69 @@
+#include "pg/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace pghive::pg {
+namespace {
+
+TEST(VocabularyTest, InternsLabelsAndKeysSeparately) {
+  Vocabulary vocab;
+  LabelId l = vocab.InternLabel("name");
+  PropKeyId k = vocab.InternKey("name");
+  // Separate universes: both get id 0.
+  EXPECT_EQ(l, 0u);
+  EXPECT_EQ(k, 0u);
+  EXPECT_EQ(vocab.LabelName(l), "name");
+  EXPECT_EQ(vocab.KeyName(k), "name");
+}
+
+TEST(VocabularyTest, TokenForEmptySetIsNoToken) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.TokenForLabelSet({}), kNoToken);
+  EXPECT_EQ(vocab.num_tokens(), 0u);
+}
+
+TEST(VocabularyTest, TokenIsOrderIndependent) {
+  Vocabulary vocab;
+  LabelId person = vocab.InternLabel("Person");
+  LabelId student = vocab.InternLabel("Student");
+  LabelSetToken t1 = vocab.TokenForLabelSet({person, student});
+  LabelSetToken t2 = vocab.TokenForLabelSet({student, person});
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(vocab.TokenName(t1), "Person|Student");
+}
+
+TEST(VocabularyTest, TokenSortsAlphabeticallyByName) {
+  Vocabulary vocab;
+  // Intern in reverse-alphabetical id order to prove name sorting.
+  LabelId z = vocab.InternLabel("Zebra");
+  LabelId a = vocab.InternLabel("Apple");
+  LabelSetToken t = vocab.TokenForLabelSet({z, a});
+  EXPECT_EQ(vocab.TokenName(t), "Apple|Zebra");
+}
+
+TEST(VocabularyTest, DuplicateLabelsCollapseInToken) {
+  Vocabulary vocab;
+  LabelId p = vocab.InternLabel("Person");
+  LabelSetToken t1 = vocab.TokenForLabelSet({p, p});
+  LabelSetToken t2 = vocab.TokenForLabelSet({p});
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(vocab.TokenName(t1), "Person");
+}
+
+TEST(VocabularyTest, DistinctSetsGetDistinctTokens) {
+  Vocabulary vocab;
+  LabelId p = vocab.InternLabel("Person");
+  LabelId s = vocab.InternLabel("Student");
+  LabelId a = vocab.InternLabel("Athlete");
+  EXPECT_NE(vocab.TokenForLabelSet({p, s}), vocab.TokenForLabelSet({p, a}));
+  EXPECT_NE(vocab.TokenForLabelSet({p}), vocab.TokenForLabelSet({p, s}));
+}
+
+TEST(VocabularyTest, FindMissingReturnsInvalid) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.FindLabel("nope"), util::StringInterner::kInvalidId);
+  EXPECT_EQ(vocab.FindKey("nope"), util::StringInterner::kInvalidId);
+}
+
+}  // namespace
+}  // namespace pghive::pg

@@ -1,0 +1,78 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace pghive::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  RunningStats s;
+  std::vector<double> xs = {1.0, 4.0, 2.0, 8.0, 5.0};
+  for (double x : xs) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  // Sample variance: sum((x-4)^2)/(5-1) = (9+0+4+16+1)/4 = 7.5.
+  EXPECT_DOUBLE_EQ(s.variance(), 7.5);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 8.0);
+}
+
+TEST(RunningStatsTest, NumericallyStableOnLargeOffsets) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.Add(1e9 + (i % 2));
+  EXPECT_NEAR(s.variance(), 0.25, 0.01);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
+}
+
+TEST(StdDevTest, Basics) {
+  EXPECT_EQ(StdDev({}), 0.0);
+  EXPECT_EQ(StdDev({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({2.0, 4.0}), std::sqrt(2.0));
+}
+
+TEST(PercentileTest, Endpoints) {
+  std::vector<double> xs = {3.0, 1.0, 2.0};
+  EXPECT_EQ(Percentile(xs, 0), 1.0);
+  EXPECT_EQ(Percentile(xs, 100), 3.0);
+  EXPECT_EQ(Percentile(xs, 50), 2.0);
+  EXPECT_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+  std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 75), 7.5);
+}
+
+TEST(HarmonicMeanTest, Basics) {
+  EXPECT_EQ(HarmonicMean(0, 0), 0.0);
+  EXPECT_EQ(HarmonicMean(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(HarmonicMean(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(HarmonicMean(0.5, 1.0), 2.0 * 0.5 / 1.5);
+}
+
+}  // namespace
+}  // namespace pghive::util

@@ -1,0 +1,50 @@
+#include "util/string_interner.h"
+
+#include <gtest/gtest.h>
+
+namespace pghive::util {
+namespace {
+
+TEST(StringInternerTest, AssignsDenseIdsInFirstSeenOrder) {
+  StringInterner interner;
+  EXPECT_EQ(interner.Intern("Person"), 0u);
+  EXPECT_EQ(interner.Intern("Post"), 1u);
+  EXPECT_EQ(interner.Intern("Person"), 0u);  // Idempotent.
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(StringInternerTest, GetRoundTrips) {
+  StringInterner interner;
+  uint32_t id = interner.Intern("KNOWS");
+  EXPECT_EQ(interner.Get(id), "KNOWS");
+}
+
+TEST(StringInternerTest, FindOnMissingReturnsInvalid) {
+  StringInterner interner;
+  interner.Intern("a");
+  EXPECT_EQ(interner.Find("b"), StringInterner::kInvalidId);
+  EXPECT_FALSE(interner.Contains("b"));
+  EXPECT_TRUE(interner.Contains("a"));
+}
+
+TEST(StringInternerTest, EmptyStringIsValidKey) {
+  StringInterner interner;
+  uint32_t id = interner.Intern("");
+  EXPECT_EQ(interner.Get(id), "");
+  EXPECT_TRUE(interner.Contains(""));
+}
+
+TEST(StringInternerTest, ManyStringsStayStable) {
+  StringInterner interner;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(interner.Intern("s" + std::to_string(i)),
+              static_cast<uint32_t>(i));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(interner.Get(i), "s" + std::to_string(i));
+  }
+  EXPECT_EQ(interner.strings().size(), 1000u);
+}
+
+}  // namespace
+}  // namespace pghive::util

@@ -1,0 +1,38 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace pghive::util {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"a", "long_header"});
+  table.AddRow({"xxxx", "y"});
+  std::string out = table.ToString();
+  // Header line, separator, one row.
+  EXPECT_NE(out.find("a     long_header"), std::string::npos);
+  EXPECT_NE(out.find("xxxx  y"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find('1'), std::string::npos);
+}
+
+TEST(TablePrinterTest, ExtraCellsAreDropped) {
+  TablePrinter table({"a"});
+  table.AddRow({"1", "overflow"});
+  EXPECT_EQ(table.ToString().find("overflow"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtRoundsToDecimals) {
+  EXPECT_EQ(TablePrinter::Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Fmt(1.0, 0), "1");
+  EXPECT_EQ(TablePrinter::Fmt(0.9995, 3), "1.000");
+}
+
+}  // namespace
+}  // namespace pghive::util

@@ -1,0 +1,82 @@
+#include "util/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace pghive::util {
+namespace {
+
+TEST(UnionFindTest, StartsFullyDisjoint) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(uf.Find(i), i);
+}
+
+TEST(UnionFindTest, UnionMergesAndReports) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));  // Already merged.
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+  EXPECT_NE(uf.Find(0), uf.Find(2));
+}
+
+TEST(UnionFindTest, TransitivityThroughChain) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  uf.Union(3, 4);
+  EXPECT_EQ(uf.Find(0), uf.Find(2));
+  EXPECT_EQ(uf.Find(3), uf.Find(4));
+  EXPECT_NE(uf.Find(2), uf.Find(3));
+  EXPECT_EQ(uf.num_sets(), 3u);  // {0,1,2} {3,4} {5}.
+}
+
+TEST(UnionFindTest, ComponentIdsAreDenseAndConsistent) {
+  UnionFind uf(5);
+  uf.Union(0, 4);
+  uf.Union(1, 3);
+  auto ids = uf.ComponentIds();
+  ASSERT_EQ(ids.size(), 5u);
+  EXPECT_EQ(ids[0], ids[4]);
+  EXPECT_EQ(ids[1], ids[3]);
+  EXPECT_NE(ids[0], ids[1]);
+  EXPECT_NE(ids[0], ids[2]);
+  // Dense: ids cover [0, num_sets).
+  for (uint32_t id : ids) EXPECT_LT(id, uf.num_sets());
+}
+
+class UnionFindPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Property: after random unions, Find-equality defines the same partition as
+// a brute-force reachability check over the union operations.
+TEST_P(UnionFindPropertyTest, MatchesBruteForcePartition) {
+  Rng rng(GetParam());
+  const size_t n = 64;
+  UnionFind uf(n);
+  // Brute-force adjacency closure via repeated relabeling.
+  std::vector<uint32_t> brute(n);
+  for (uint32_t i = 0; i < n; ++i) brute[i] = i;
+  for (int op = 0; op < 50; ++op) {
+    uint32_t a = static_cast<uint32_t>(rng.NextBounded(n));
+    uint32_t b = static_cast<uint32_t>(rng.NextBounded(n));
+    uf.Union(a, b);
+    uint32_t from = brute[a], to = brute[b];
+    for (auto& x : brute) {
+      if (x == from) x = to;
+    }
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      EXPECT_EQ(uf.Find(i) == uf.Find(j), brute[i] == brute[j])
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnionFindPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace pghive::util

@@ -1,0 +1,223 @@
+// pghive — command-line front end for the PG-HIVE library.
+//
+// Subcommands:
+//   discover  --graph FILE [--method elsh|minhash] [--batches N]
+//             [--out PREFIX] [--loose] [--sample-datatypes]
+//       Discovers the schema of a graph file (pg::SaveGraphFile format) and
+//       prints it; with --out also writes PREFIX.pgs and PREFIX.xsd.
+//   import    --nodes FILE[,FILE...] --edges FILE[,FILE...] --out GRAPH
+//       Imports neo4j-admin style CSVs into a graph file.
+//   generate  --dataset NAME [--scale S] [--seed N] --out GRAPH
+//       Generates one of the paper's synthetic datasets (POLE, MB6, HET.IO,
+//       FIB25, ICIJ, CORD19, LDBC, IYP).
+//   validate  --graph FILE --schema FILE.pgs [--strict]
+//       Validates a graph against a PG-Schema file.
+//
+// Exit code 0 on success (and, for validate, on conformance), 1 otherwise.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pghive.h"
+#include "core/pgschema_parser.h"
+#include "core/serialize.h"
+#include "core/validator.h"
+#include "datasets/generator.h"
+#include "datasets/zoo.h"
+#include "pg/csv_import.h"
+#include "pg/graph_io.h"
+
+namespace {
+
+using namespace pghive;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  bool Has(const std::string& key) const { return options.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    std::string key = arg.substr(2);
+    std::string value = "true";
+    size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      value = argv[++i];
+    }
+    args.options[key] = value;
+  }
+  return args;
+}
+
+std::vector<std::string> SplitComma(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "pghive: %s\n", message.c_str());
+  return 1;
+}
+
+int CmdDiscover(const Args& args) {
+  if (!args.Has("graph")) return Fail("discover needs --graph FILE");
+  auto loaded = pg::LoadGraphFile(args.Get("graph"));
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  pg::PropertyGraph graph = std::move(loaded).value();
+  std::printf("loaded %zu nodes, %zu edges\n", graph.num_nodes(),
+              graph.num_edges());
+
+  core::PgHiveOptions options;
+  if (args.Get("method") == "minhash") {
+    options.method = core::ClusterMethod::kMinHash;
+  }
+  if (args.Has("sample-datatypes")) {
+    options.datatype_options.sample = true;
+  }
+  core::PgHive pipeline(&graph, options);
+  size_t batches = std::max(1, std::atoi(args.Get("batches", "1").c_str()));
+  if (batches <= 1) {
+    auto status = pipeline.Run();
+    if (!status.ok()) return Fail(status.ToString());
+  } else {
+    for (const auto& batch :
+         pg::SplitIntoBatches(graph, batches, /*seed=*/1)) {
+      auto status = pipeline.ProcessBatch(batch);
+      if (!status.ok()) return Fail(status.ToString());
+    }
+    auto status = pipeline.Finish();
+    if (!status.ok()) return Fail(status.ToString());
+  }
+
+  std::printf("%s", core::DescribeSchema(pipeline.schema(), graph.vocab())
+                        .c_str());
+  std::printf("discovery took %.1f ms (+%.1f ms post-processing)\n",
+              pipeline.total_stats().discovery_ms(),
+              pipeline.total_stats().post_process_ms);
+
+  core::SchemaMode mode = args.Has("loose") ? core::SchemaMode::kLoose
+                                            : core::SchemaMode::kStrict;
+  if (args.Has("out")) {
+    std::string prefix = args.Get("out");
+    std::ofstream pgs(prefix + ".pgs");
+    pgs << core::SerializePgSchema(pipeline.schema(), graph.vocab(), mode);
+    std::ofstream xsd(prefix + ".xsd");
+    xsd << core::SerializeXsd(pipeline.schema(), graph.vocab());
+    std::printf("wrote %s.pgs and %s.xsd\n", prefix.c_str(), prefix.c_str());
+  }
+  return 0;
+}
+
+int CmdImport(const Args& args) {
+  if (!args.Has("nodes") || !args.Has("out")) {
+    return Fail("import needs --nodes FILES and --out GRAPH");
+  }
+  pg::CsvGraphImporter importer;
+  for (const std::string& path : SplitComma(args.Get("nodes"))) {
+    auto status = importer.AddNodeFile(path);
+    if (!status.ok()) return Fail(path + ": " + status.ToString());
+  }
+  for (const std::string& path : SplitComma(args.Get("edges"))) {
+    auto status = importer.AddEdgeFile(path);
+    if (!status.ok()) return Fail(path + ": " + status.ToString());
+  }
+  pg::PropertyGraph graph = importer.TakeGraph();
+  auto status = pg::SaveGraphFile(graph, args.Get("out"));
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("imported %zu nodes, %zu edges -> %s\n", graph.num_nodes(),
+              graph.num_edges(), args.Get("out").c_str());
+  return 0;
+}
+
+int CmdGenerate(const Args& args) {
+  if (!args.Has("dataset") || !args.Has("out")) {
+    return Fail("generate needs --dataset NAME and --out GRAPH");
+  }
+  auto spec = datasets::ZooDataset(args.Get("dataset"));
+  if (!spec.ok()) return Fail(spec.status().ToString());
+  double scale = std::atof(args.Get("scale", "1.0").c_str());
+  uint64_t seed = std::strtoull(args.Get("seed", "42").c_str(), nullptr, 10);
+  datasets::Dataset dataset = datasets::Generate(spec.value(), scale, seed);
+  auto status = pg::SaveGraphFile(dataset.graph, args.Get("out"));
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("generated %s: %zu nodes, %zu edges -> %s\n",
+              spec.value().name.c_str(), dataset.graph.num_nodes(),
+              dataset.graph.num_edges(), args.Get("out").c_str());
+  return 0;
+}
+
+int CmdValidate(const Args& args) {
+  if (!args.Has("graph") || !args.Has("schema")) {
+    return Fail("validate needs --graph FILE and --schema FILE.pgs");
+  }
+  auto loaded = pg::LoadGraphFile(args.Get("graph"));
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  pg::PropertyGraph graph = std::move(loaded).value();
+
+  std::ifstream in(args.Get("schema"));
+  if (!in) return Fail("cannot open " + args.Get("schema"));
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto schema = core::ParsePgSchema(buf.str(), &graph.vocab());
+  if (!schema.ok()) return Fail(schema.status().ToString());
+
+  core::ValidatorOptions options;
+  options.mode = args.Has("strict") ? core::SchemaMode::kStrict
+                                    : core::SchemaMode::kLoose;
+  core::SchemaValidator validator(&schema.value(), options);
+  core::ValidationReport report = validator.Validate(graph);
+  std::printf("%s\n", report.Summary().c_str());
+  for (size_t i = 0; i < report.violations.size() && i < 20; ++i) {
+    const core::Violation& v = report.violations[i];
+    std::printf("  [%s] %s %llu: %s\n", core::ViolationKindName(v.kind),
+                v.is_edge ? "edge" : "node",
+                static_cast<unsigned long long>(v.element_id),
+                v.detail.c_str());
+  }
+  return report.conforms() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  if (args.command == "discover") return CmdDiscover(args);
+  if (args.command == "import") return CmdImport(args);
+  if (args.command == "generate") return CmdGenerate(args);
+  if (args.command == "validate") return CmdValidate(args);
+  std::fprintf(stderr,
+               "usage: pghive <discover|import|generate|validate> [options]\n"
+               "  discover --graph FILE [--method elsh|minhash] [--batches N]"
+               " [--out PREFIX] [--loose]\n"
+               "  import   --nodes a.csv,b.csv --edges rels.csv --out g.pg\n"
+               "  generate --dataset POLE [--scale 1.0] [--seed 42] --out g.pg\n"
+               "  validate --graph g.pg --schema s.pgs [--strict]\n");
+  return args.command.empty() ? 1 : 1;
+}
