@@ -1,0 +1,29 @@
+# Translates PGHIVE_SANITIZE ("address", "undefined", "thread", or a
+# comma-separated combination such as "address,undefined") into compile and
+# link flags stored in PGHIVE_SANITIZER_FLAGS. thread cannot be combined with
+# address.
+
+set(PGHIVE_SANITIZER_FLAGS "")
+
+if(PGHIVE_SANITIZE)
+  string(REPLACE "," ";" _pghive_sanitizers "${PGHIVE_SANITIZE}")
+  set(_pghive_fsanitize "")
+  foreach(_sanitizer IN LISTS _pghive_sanitizers)
+    string(STRIP "${_sanitizer}" _sanitizer)
+    if(NOT _sanitizer MATCHES "^(address|undefined|thread)$")
+      message(FATAL_ERROR
+        "PGHIVE_SANITIZE: unknown sanitizer '${_sanitizer}' "
+        "(expected address, undefined, or thread)")
+    endif()
+    list(APPEND _pghive_fsanitize ${_sanitizer})
+  endforeach()
+
+  if("thread" IN_LIST _pghive_fsanitize AND "address" IN_LIST _pghive_fsanitize)
+    message(FATAL_ERROR "PGHIVE_SANITIZE: thread and address are incompatible")
+  endif()
+
+  list(JOIN _pghive_fsanitize "," _pghive_fsanitize_arg)
+  set(PGHIVE_SANITIZER_FLAGS
+    -fsanitize=${_pghive_fsanitize_arg} -fno-omit-frame-pointer)
+  message(STATUS "pghive: sanitizers enabled: ${_pghive_fsanitize_arg}")
+endif()

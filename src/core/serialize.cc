@@ -17,7 +17,7 @@ std::string SanitizeIdentifier(const std::string& name) {
       out.push_back('_');
     }
   }
-  if (out.empty()) out = "T";
+  if (out.empty()) return "T";
   return out;
 }
 

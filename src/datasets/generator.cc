@@ -17,7 +17,9 @@ pg::Value GenerateValue(pg::DataType type, util::Rng* rng) {
     case pg::DataType::kBoolean:
       return pg::Value(rng->NextBool(0.5));
     case pg::DataType::kDate: {
-      char buf[16];
+      // Sized for snprintf's worst case over int arguments so
+      // -Wformat-truncation is provably impossible.
+      char buf[40];
       std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d",
                     1970 + static_cast<int>(rng->NextBounded(55)),
                     1 + static_cast<int>(rng->NextBounded(12)),
@@ -25,7 +27,7 @@ pg::Value GenerateValue(pg::DataType type, util::Rng* rng) {
       return pg::Value(std::string(buf));
     }
     case pg::DataType::kDateTime: {
-      char buf[32];
+      char buf[80];
       std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d",
                     1970 + static_cast<int>(rng->NextBounded(55)),
                     1 + static_cast<int>(rng->NextBounded(12)),

@@ -112,7 +112,7 @@ RunResult RunGmm(pg::PropertyGraph* graph, const datasets::Dataset& dataset,
 
 RunResult RunSchemi(pg::PropertyGraph* graph,
                     const datasets::Dataset& dataset,
-                    const RunConfig& config) {
+                    const RunConfig& /*config*/) {
   RunResult result;
   baselines::SchemiOptions options;
   baselines::SchemI schemi(options);

@@ -25,7 +25,9 @@ TEST(PropertyMapTest, EntriesStaySortedByKey) {
   KeyId prev = 0;
   bool first = true;
   for (const auto& [key, value] : map.entries()) {
-    if (!first) EXPECT_GT(key, prev);
+    if (!first) {
+      EXPECT_GT(key, prev);
+    }
     prev = key;
     first = false;
   }

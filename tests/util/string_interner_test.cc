@@ -37,11 +37,14 @@ TEST(StringInternerTest, EmptyStringIsValidKey) {
 TEST(StringInternerTest, ManyStringsStayStable) {
   StringInterner interner;
   for (int i = 0; i < 1000; ++i) {
-    EXPECT_EQ(interner.Intern("s" + std::to_string(i)),
-              static_cast<uint32_t>(i));
+    std::string name = "s";
+    name += std::to_string(i);
+    EXPECT_EQ(interner.Intern(name), static_cast<uint32_t>(i));
   }
   for (int i = 0; i < 1000; ++i) {
-    EXPECT_EQ(interner.Get(i), "s" + std::to_string(i));
+    std::string name = "s";
+    name += std::to_string(i);
+    EXPECT_EQ(interner.Get(i), name);
   }
   EXPECT_EQ(interner.strings().size(), 1000u);
 }
