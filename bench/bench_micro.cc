@@ -1,18 +1,38 @@
 // Micro-benchmarks (google-benchmark) for the performance-critical
 // primitives: ELSH hashing, MinHash signatures, the vectorizer, Word2Vec
-// training, GMM EM steps, and the type-extraction merge.
+// training, GMM EM steps, the type-extraction merge, and thread sweeps of
+// the parallel vectorize/cluster stages.
+//
+// Besides the google-benchmark CLI, the binary has a perf-tracking mode:
+//
+//   bench_micro --speedup_json=FILE [--speedup_scale=S]
+//
+// runs vectorize + cluster on an LDBC-like graph (>= 100k elements at the
+// default scale) at 1/2/4/hw threads and writes per-stage speedup JSON.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "baselines/gmm.h"
 #include "core/pghive.h"
 #include "core/type_extraction.h"
+#include "core/vectorizer.h"
 #include "datasets/generator.h"
 #include "datasets/zoo.h"
+#include "embed/hash_embedder.h"
 #include "embed/word2vec.h"
 #include "lsh/euclidean_lsh.h"
 #include "lsh/minhash.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 using namespace pghive;
 
@@ -107,6 +127,167 @@ void BM_FullPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPipeline);
 
+// ---- Thread sweeps (Arg = thread count; 0 = hardware concurrency) -------
+
+size_t SweepThreads(benchmark::State& state) {
+  return util::ThreadPool::ResolveThreads(
+      static_cast<size_t>(state.range(0)));
+}
+
+void BM_VectorizeThreads(benchmark::State& state) {
+  auto dataset = datasets::Generate(datasets::LdbcSpec(), 2.0, 7);
+  embed::HashEmbedder embedder(&dataset.graph.vocab(), 8, 11);
+  size_t threads = SweepThreads(state);
+  util::ThreadPool pool(threads);
+  core::Vectorizer vectorizer(&dataset.graph, &embedder,
+                              threads > 1 ? &pool : nullptr);
+  pg::GraphBatch batch = pg::FullBatch(dataset.graph);
+  for (auto _ : state) {
+    auto nodes = vectorizer.NodeFeatures(batch);
+    auto edges = vectorizer.EdgeFeatures(batch);
+    benchmark::DoNotOptimize(nodes);
+    benchmark::DoNotOptimize(edges);
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      (batch.node_ids.size() + batch.edge_ids.size()));
+}
+BENCHMARK(BM_VectorizeThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
+
+void BM_ElshClusterThreads(benchmark::State& state) {
+  const size_t num = 32768, dim = 64;
+  auto data = RandomMatrix(num, dim, 9);
+  lsh::EuclideanLshParams params;
+  params.num_tables = 20;
+  lsh::EuclideanLsh hasher(dim, params);
+  size_t threads = SweepThreads(state);
+  util::ThreadPool pool(threads);
+  for (auto _ : state) {
+    auto clusters =
+        hasher.Cluster(data, num, threads > 1 ? &pool : nullptr);
+    benchmark::DoNotOptimize(clusters);
+  }
+  state.SetItemsProcessed(state.iterations() * num);
+}
+BENCHMARK(BM_ElshClusterThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
+
+// ---- Speedup sweep mode (perf-tracking JSON artifact) -------------------
+
+struct StageTimes {
+  const char* stage;
+  std::vector<size_t> threads;
+  std::vector<double> ms;
+};
+
+double MinMillisOf3(const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    util::Timer timer;
+    fn();
+    best = std::min(best, timer.ElapsedMillis());
+  }
+  return best;
+}
+
+int RunSpeedupSweep(const std::string& json_path, double scale) {
+  datasets::Dataset dataset = datasets::Generate(datasets::LdbcSpec(), scale, 7);
+  pg::GraphBatch batch = pg::FullBatch(dataset.graph);
+  const size_t elements = batch.node_ids.size() + batch.edge_ids.size();
+  std::fprintf(stderr, "speedup sweep: %zu nodes + %zu edges = %zu elements\n",
+               batch.node_ids.size(), batch.edge_ids.size(), elements);
+
+  embed::HashEmbedder embedder(&dataset.graph.vocab(), 8, 11);
+  // Intern every token (and build vocab columns) once, outside the timings.
+  {
+    core::Vectorizer warmup(&dataset.graph, &embedder, nullptr);
+    warmup.NodeFeatures(batch);
+    warmup.EdgeFeatures(batch);
+  }
+
+  std::vector<size_t> counts = {1, 2, 4,
+                                util::ThreadPool::ResolveThreads(0)};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+
+  StageTimes vectorize{"vectorize", {}, {}};
+  StageTimes cluster{"cluster", {}, {}};
+  for (size_t threads : counts) {
+    util::ThreadPool pool(threads);
+    util::ThreadPool* p = threads > 1 ? &pool : nullptr;
+    core::Vectorizer vectorizer(&dataset.graph, &embedder, p);
+    core::FeatureMatrix node_features, edge_features;
+    vectorize.threads.push_back(threads);
+    vectorize.ms.push_back(MinMillisOf3([&] {
+      node_features = vectorizer.NodeFeatures(batch);
+      edge_features = vectorizer.EdgeFeatures(batch);
+    }));
+    lsh::EuclideanLshParams params;
+    params.num_tables = 20;
+    lsh::EuclideanLsh node_hasher(node_features.dim, params);
+    lsh::EuclideanLsh edge_hasher(edge_features.dim, params);
+    cluster.threads.push_back(threads);
+    cluster.ms.push_back(MinMillisOf3([&] {
+      auto nc = node_hasher.Cluster(node_features.data, node_features.num, p);
+      auto ec = edge_hasher.Cluster(edge_features.data, edge_features.num, p);
+      benchmark::DoNotOptimize(nc);
+      benchmark::DoNotOptimize(ec);
+    }));
+  }
+
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"benchmark\": \"pghive_parallel_sweep\",\n"
+               "  \"scale\": %g,\n  \"nodes\": %zu,\n  \"edges\": %zu,\n"
+               "  \"hardware_threads\": %zu,\n  \"stages\": [",
+               scale, batch.node_ids.size(), batch.edge_ids.size(),
+               util::ThreadPool::ResolveThreads(0));
+  const StageTimes* stages[] = {&vectorize, &cluster};
+  for (size_t s = 0; s < 2; ++s) {
+    const StageTimes& st = *stages[s];
+    std::fprintf(out, "%s\n    {\"stage\": \"%s\", \"results\": [",
+                 s ? "," : "", st.stage);
+    for (size_t i = 0; i < st.threads.size(); ++i) {
+      std::fprintf(out,
+                   "%s\n      {\"threads\": %zu, \"ms\": %.3f, "
+                   "\"speedup\": %.3f}",
+                   i ? "," : "", st.threads[i], st.ms[i],
+                   st.ms[0] / std::max(1e-9, st.ms[i]));
+    }
+    std::fprintf(out, "\n    ]}");
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  for (size_t s = 0; s < 2; ++s) {
+    const StageTimes& st = *stages[s];
+    for (size_t i = 0; i < st.threads.size(); ++i) {
+      std::fprintf(stderr, "  %-10s threads=%zu  %8.2f ms  (%.2fx)\n",
+                   st.stage, st.threads[i], st.ms[i], st.ms[0] / st.ms[i]);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  double scale = 8.0;  // >= 100k elements on the LDBC-like zoo graph.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--speedup_json=", 15) == 0) {
+      json_path = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--speedup_scale=", 16) == 0) {
+      scale = std::atof(argv[i] + 16);
+    }
+  }
+  if (!json_path.empty()) return RunSpeedupSweep(json_path, scale);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -53,14 +53,27 @@ void InferForType(const pg::PropertyGraph& graph, bool edges,
 }  // namespace
 
 void InferDataTypes(const pg::PropertyGraph& graph, SchemaGraph* schema,
-                    const DataTypeOptions& options) {
-  util::Rng rng(options.seed);
-  for (auto& t : schema->node_types()) {
-    InferForType(graph, /*edges=*/false, options, &rng, &t);
-  }
-  for (auto& t : schema->edge_types()) {
-    InferForType(graph, /*edges=*/true, options, &rng, &t);
-  }
+                    const DataTypeOptions& options, util::ThreadPool* pool) {
+  // One pre-split RNG per type (seeded by kind + index, not by a shared
+  // stream) so the sampled values do not depend on scan order or pool size.
+  auto type_rng = [&options](uint64_t kind, size_t index) {
+    return util::Rng(util::HashCombine(util::Mix64(options.seed ^ kind),
+                                       static_cast<uint64_t>(index)));
+  };
+  auto& node_types = schema->node_types();
+  util::ParallelFor(pool, 0, node_types.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      util::Rng rng = type_rng(0x4E, i);
+      InferForType(graph, /*edges=*/false, options, &rng, &node_types[i]);
+    }
+  });
+  auto& edge_types = schema->edge_types();
+  util::ParallelFor(pool, 0, edge_types.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      util::Rng rng = type_rng(0xED, i);
+      InferForType(graph, /*edges=*/true, options, &rng, &edge_types[i]);
+    }
+  });
 }
 
 pg::DataType FullScanType(const pg::PropertyGraph& graph,

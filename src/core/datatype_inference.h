@@ -8,6 +8,7 @@
 
 #include "core/schema.h"
 #include "pg/graph.h"
+#include "util/thread_pool.h"
 
 namespace pghive::core {
 
@@ -24,8 +25,14 @@ struct DataTypeOptions {
 /// Fills PropertyInfo::data_type for every property of every type by
 /// joining the inferred types of observed values (full scan or sampled).
 /// Values unseen (e.g. sampling skipped everything) default to STRING.
+///
+/// With a pool, the per-type scans fan out across workers. Each type draws
+/// its sample from an RNG seeded by (options.seed, type kind, type index) —
+/// pre-split, never shared — so the inferred types are identical at every
+/// pool size (including the serial path).
 void InferDataTypes(const pg::PropertyGraph& graph, SchemaGraph* schema,
-                    const DataTypeOptions& options = {});
+                    const DataTypeOptions& options = {},
+                    util::ThreadPool* pool = nullptr);
 
 /// The sampling error of Fig. 8 for a single property: the fraction of
 /// *sampled* values whose individually-inferred type disagrees with the

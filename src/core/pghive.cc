@@ -1,6 +1,7 @@
 #include "core/pghive.h"
 
 #include <algorithm>
+#include <future>
 
 #include "core/cardinality.h"
 #include "core/constraints.h"
@@ -15,6 +16,9 @@ namespace pghive::core {
 PgHive::PgHive(pg::PropertyGraph* graph, PgHiveOptions options)
     : graph_(graph), options_(options) {
   PGHIVE_CHECK(graph_ != nullptr);
+  if (util::ThreadPool::ResolveThreads(options_.num_threads) > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(options_.num_threads);
+  }
   if (options_.embedder == EmbedderKind::kWord2Vec) {
     embed::Word2VecOptions w2v;
     w2v.dim = options_.embedding_dim;
@@ -51,7 +55,7 @@ lsh::ClusterSet PgHive::ClusterNodes(const pg::GraphBatch& batch,
     params.seed = options_.seed ^ 0xE15;
     params.amplification = options_.amplification;
     lsh::EuclideanLsh hasher(features.dim, params);
-    return hasher.Cluster(features.data, features.num);
+    return hasher.Cluster(features.data, features.num, pool_.get());
   }
   // MinHash path clusters the element sets.
   auto sets = vectorizer->NodeSets(batch);
@@ -71,7 +75,7 @@ lsh::ClusterSet PgHive::ClusterNodes(const pg::GraphBatch& batch,
   params.seed = options_.seed ^ 0x517;
   params.amplification = options_.amplification;
   lsh::MinHashLsh hasher(params);
-  return hasher.Cluster(sets);
+  return hasher.Cluster(sets, pool_.get());
 }
 
 lsh::ClusterSet PgHive::ClusterEdges(const pg::GraphBatch& batch,
@@ -95,7 +99,7 @@ lsh::ClusterSet PgHive::ClusterEdges(const pg::GraphBatch& batch,
     params.seed = options_.seed ^ 0xE25;
     params.amplification = options_.amplification;
     lsh::EuclideanLsh hasher(features.dim, params);
-    return hasher.Cluster(features.data, features.num);
+    return hasher.Cluster(features.data, features.num, pool_.get());
   }
   auto sets = vectorizer->EdgeSets(batch);
   AdaptiveChoice choice;
@@ -114,7 +118,7 @@ lsh::ClusterSet PgHive::ClusterEdges(const pg::GraphBatch& batch,
   params.seed = options_.seed ^ 0x527;
   params.amplification = options_.amplification;
   lsh::MinHashLsh hasher(params);
-  return hasher.Cluster(sets);
+  return hasher.Cluster(sets, pool_.get());
 }
 
 util::Status PgHive::ProcessBatch(const pg::GraphBatch& batch) {
@@ -127,36 +131,61 @@ util::Status PgHive::ProcessBatch(const pg::GraphBatch& batch) {
     embed::LabelCorpus corpus = embed::BuildLabelCorpus(*graph_, batch);
     word2vec_->Train(corpus);
   }
-  Vectorizer vectorizer(graph_, embedder_.get());
+  Vectorizer vectorizer(graph_, embedder_.get(), pool_.get());
   FeatureMatrix node_features = vectorizer.NodeFeatures(batch);
   FeatureMatrix edge_features = vectorizer.EdgeFeatures(batch);
   last_stats_.preprocess_ms = timer.ElapsedMillis();
 
-  // (c) LSH clustering.
+  // (c) LSH clustering + candidate build. The node and edge tracks are
+  // independent: they write disjoint stats fields and share the graph and
+  // vocabulary read-only — the vectorizer above already interned every
+  // label-set token of the batch (including edge endpoint tokens), so the
+  // tracks run concurrently when a pool is available. Each track's inner
+  // loops also fan out on the pool (nested sections flatten into its queue).
   timer.Reset();
   lsh::ClusterSet node_clusters;
   lsh::ClusterSet edge_clusters;
-  if (!batch.node_ids.empty()) {
+  std::vector<CandidateType> node_candidates;
+  std::vector<CandidateType> edge_candidates;
+  auto node_track = [&] {
+    if (batch.node_ids.empty()) return;
     node_clusters = ClusterNodes(batch, node_features, &vectorizer);
     last_stats_.node_clusters = node_clusters.num_clusters();
-  }
-  if (!batch.edge_ids.empty()) {
+    node_candidates = BuildNodeCandidates(*graph_, batch, node_clusters);
+  };
+  auto edge_track = [&] {
+    if (batch.edge_ids.empty()) return;
     edge_clusters = ClusterEdges(batch, edge_features, &vectorizer);
     last_stats_.edge_clusters = edge_clusters.num_clusters();
+    edge_candidates = BuildEdgeCandidates(*graph_, batch, edge_clusters);
+  };
+  if (pool_ != nullptr) {
+    std::future<void> edges_done = pool_->Submit(edge_track);
+    try {
+      node_track();
+    } catch (...) {
+      // edge_track references stack locals; it must finish before unwinding.
+      edges_done.wait();
+      throw;
+    }
+    edges_done.get();
+  } else {
+    node_track();
+    edge_track();
   }
   last_stats_.cluster_ms = timer.ElapsedMillis();
 
-  // (d) Type extraction (Algorithm 2), merged into the running schema.
+  // (d) Type extraction (Algorithm 2), merged into the running schema in a
+  // fixed order — nodes then edges — so the schema never depends on which
+  // track finished first.
   timer.Reset();
   ExtractionOptions ext;
   ext.jaccard_threshold = options_.jaccard_threshold;
   if (!batch.node_ids.empty()) {
-    auto candidates = BuildNodeCandidates(*graph_, batch, node_clusters);
-    ExtractNodeTypes(std::move(candidates), ext, &schema_);
+    ExtractNodeTypes(std::move(node_candidates), ext, &schema_);
   }
   if (!batch.edge_ids.empty()) {
-    auto candidates = BuildEdgeCandidates(*graph_, batch, edge_clusters);
-    ExtractEdgeTypes(std::move(candidates), ext, &schema_);
+    ExtractEdgeTypes(std::move(edge_candidates), ext, &schema_);
   }
   last_stats_.extract_ms = timer.ElapsedMillis();
 
@@ -164,7 +193,7 @@ util::Status PgHive::ProcessBatch(const pg::GraphBatch& batch) {
   if (options_.post_process_each_batch) {
     timer.Reset();
     InferPropertyConstraints(&schema_);
-    InferDataTypes(*graph_, &schema_, options_.datatype_options);
+    InferDataTypes(*graph_, &schema_, options_.datatype_options, pool_.get());
     ComputeCardinalities(*graph_, &schema_);
     last_stats_.post_process_ms = timer.ElapsedMillis();
   }
@@ -182,7 +211,7 @@ util::Status PgHive::ProcessBatch(const pg::GraphBatch& batch) {
 util::Status PgHive::Finish() {
   util::Timer timer;
   InferPropertyConstraints(&schema_);
-  InferDataTypes(*graph_, &schema_, options_.datatype_options);
+  InferDataTypes(*graph_, &schema_, options_.datatype_options, pool_.get());
   ComputeCardinalities(*graph_, &schema_);
   double ms = timer.ElapsedMillis();
   last_stats_.post_process_ms += ms;

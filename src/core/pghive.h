@@ -13,6 +13,7 @@
 #include "pg/batch.h"
 #include "pg/graph.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace pghive::core {
 
@@ -51,14 +52,21 @@ struct PgHiveOptions {
   /// (1.0 = the paper's heuristic).
   double alpha_scale = 1.0;
 
+  /// Worker threads for the parallel pipeline stages (vectorization, LSH
+  /// hashing, the concurrent node/edge tracks, datatype sampling).
+  /// 0 = hardware concurrency, 1 = the serial path. The discovered schema
+  /// is bit-identical for every value: parallel loops shard by index and
+  /// all RNG seeds are pre-split per shard.
+  size_t num_threads = 0;
+
   uint64_t seed = 42;
 };
 
 /// Wall-clock breakdown of one batch (drives Figs. 5 and 7).
 struct PipelineStats {
   double preprocess_ms = 0;   ///< Corpus + embedding training + vectorize.
-  double cluster_ms = 0;      ///< LSH hashing + grouping.
-  double extract_ms = 0;      ///< Algorithm 2.
+  double cluster_ms = 0;      ///< LSH hashing + grouping + candidate build.
+  double extract_ms = 0;      ///< Algorithm 2 merge.
   double post_process_ms = 0; ///< Constraints + datatypes + cardinalities.
   size_t node_clusters = 0;   ///< Clusters before merging.
   size_t edge_clusters = 0;
@@ -111,6 +119,9 @@ class PgHive {
 
   const PgHiveOptions& options() const { return options_; }
 
+  /// The execution pool (null when running serially with num_threads == 1).
+  util::ThreadPool* pool() const { return pool_.get(); }
+
  private:
   lsh::ClusterSet ClusterNodes(const pg::GraphBatch& batch,
                                const FeatureMatrix& features,
@@ -121,6 +132,7 @@ class PgHive {
 
   pg::PropertyGraph* graph_;
   PgHiveOptions options_;
+  std::unique_ptr<util::ThreadPool> pool_;
   SchemaGraph schema_;
   std::unique_ptr<embed::LabelEmbedder> embedder_;
   embed::Word2Vec* word2vec_ = nullptr;  // Non-null iff kWord2Vec.

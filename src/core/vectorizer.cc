@@ -11,6 +11,10 @@ constexpr uint64_t kSrcTag = 2ULL << 40;
 constexpr uint64_t kDstTag = 3ULL << 40;
 constexpr uint64_t kKeyTag = 4ULL << 40;
 
+/// Rows per ParallelFor chunk. Embedding one row is a few hundred flops, so
+/// this keeps chunk dispatch overhead well under 1% of the work.
+constexpr size_t kRowGrain = 256;
+
 }  // namespace
 
 uint64_t MinHashLabelElement(uint32_t token) { return kLabelTag | token; }
@@ -19,8 +23,47 @@ uint64_t MinHashDstElement(uint32_t token) { return kDstTag | token; }
 uint64_t MinHashKeyElement(uint32_t key) { return kKeyTag | key; }
 
 Vectorizer::Vectorizer(pg::PropertyGraph* graph,
-                       const embed::LabelEmbedder* embedder)
-    : graph_(graph), embedder_(embedder) {}
+                       const embed::LabelEmbedder* embedder,
+                       util::ThreadPool* pool)
+    : graph_(graph), embedder_(embedder), pool_(pool) {}
+
+// The token-intern pre-passes. Interning assigns token ids in first-seen
+// order, so these must stay sequential (and in row order) to keep ids
+// independent of the thread count; afterwards every token of the batch is
+// present, which is what makes the parallel phases' (and the later
+// node/edge tracks') vocabulary accesses read-only.
+
+const std::vector<pg::LabelSetToken>& Vectorizer::NodeTokens(
+    const pg::GraphBatch& batch) {
+  if (!node_tokens_valid_ || node_token_ids_ != batch.node_ids) {
+    pg::Vocabulary& vocab = graph_->vocab();
+    node_tokens_.assign(batch.node_ids.size(), pg::kNoToken);
+    for (size_t i = 0; i < node_tokens_.size(); ++i) {
+      node_tokens_[i] =
+          vocab.TokenForLabelSet(graph_->node(batch.node_ids[i]).labels);
+    }
+    node_token_ids_ = batch.node_ids;
+    node_tokens_valid_ = true;
+  }
+  return node_tokens_;
+}
+
+const std::vector<Vectorizer::EdgeTokens>& Vectorizer::EdgeTokensFor(
+    const pg::GraphBatch& batch) {
+  if (!edge_tokens_valid_ || edge_token_ids_ != batch.edge_ids) {
+    pg::Vocabulary& vocab = graph_->vocab();
+    edge_tokens_.assign(batch.edge_ids.size(), EdgeTokens{});
+    for (size_t i = 0; i < edge_tokens_.size(); ++i) {
+      const pg::Edge& e = graph_->edge(batch.edge_ids[i]);
+      edge_tokens_[i].edge = vocab.TokenForLabelSet(e.labels);
+      edge_tokens_[i].src = vocab.TokenForLabelSet(graph_->node(e.src).labels);
+      edge_tokens_[i].dst = vocab.TokenForLabelSet(graph_->node(e.dst).labels);
+    }
+    edge_token_ids_ = batch.edge_ids;
+    edge_tokens_valid_ = true;
+  }
+  return edge_tokens_;
+}
 
 FeatureMatrix Vectorizer::NodeFeatures(const pg::GraphBatch& batch) {
   pg::Vocabulary& vocab = graph_->vocab();
@@ -30,15 +73,18 @@ FeatureMatrix Vectorizer::NodeFeatures(const pg::GraphBatch& batch) {
   m.num = batch.node_ids.size();
   m.dim = d + k;
   m.data.assign(m.num * m.dim, 0.0f);
-  for (size_t i = 0; i < batch.node_ids.size(); ++i) {
-    const pg::Node& n = graph_->node(batch.node_ids[i]);
-    float* row = &m.data[i * m.dim];
-    pg::LabelSetToken token = vocab.TokenForLabelSet(n.labels);
-    embedder_->Embed(token, row);
-    for (const auto& [key, value] : n.properties.entries()) {
-      if (key < k) row[d + key] = 1.0f;
+  const std::vector<pg::LabelSetToken>& tokens = NodeTokens(batch);
+  const pg::PropertyGraph& graph = *graph_;
+  util::ParallelFor(pool_, 0, m.num, kRowGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const pg::Node& n = graph.node(batch.node_ids[i]);
+      float* row = &m.data[i * m.dim];
+      embedder_->Embed(tokens[i], row);
+      for (const auto& [key, value] : n.properties.entries()) {
+        if (key < k) row[d + key] = 1.0f;
+      }
     }
-  }
+  });
   return m;
 }
 
@@ -50,57 +96,70 @@ FeatureMatrix Vectorizer::EdgeFeatures(const pg::GraphBatch& batch) {
   m.num = batch.edge_ids.size();
   m.dim = 3 * d + q;
   m.data.assign(m.num * m.dim, 0.0f);
-  for (size_t i = 0; i < batch.edge_ids.size(); ++i) {
-    const pg::Edge& e = graph_->edge(batch.edge_ids[i]);
-    float* row = &m.data[i * m.dim];
-    pg::LabelSetToken et = vocab.TokenForLabelSet(e.labels);
-    pg::LabelSetToken st = vocab.TokenForLabelSet(graph_->node(e.src).labels);
-    pg::LabelSetToken tt = vocab.TokenForLabelSet(graph_->node(e.dst).labels);
-    embedder_->Embed(et, row);
-    embedder_->Embed(st, row + d);
-    embedder_->Embed(tt, row + 2 * d);
-    for (const auto& [key, value] : e.properties.entries()) {
-      if (key < q) row[3 * d + key] = 1.0f;
+  const std::vector<EdgeTokens>& tokens = EdgeTokensFor(batch);
+  const pg::PropertyGraph& graph = *graph_;
+  util::ParallelFor(pool_, 0, m.num, kRowGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const pg::Edge& e = graph.edge(batch.edge_ids[i]);
+      float* row = &m.data[i * m.dim];
+      embedder_->Embed(tokens[i].edge, row);
+      embedder_->Embed(tokens[i].src, row + d);
+      embedder_->Embed(tokens[i].dst, row + 2 * d);
+      for (const auto& [key, value] : e.properties.entries()) {
+        if (key < q) row[3 * d + key] = 1.0f;
+      }
     }
-  }
+  });
   return m;
 }
 
 std::vector<std::vector<uint64_t>> Vectorizer::NodeSets(
     const pg::GraphBatch& batch) {
-  pg::Vocabulary& vocab = graph_->vocab();
-  std::vector<std::vector<uint64_t>> sets(batch.node_ids.size());
-  for (size_t i = 0; i < batch.node_ids.size(); ++i) {
-    const pg::Node& n = graph_->node(batch.node_ids[i]);
-    auto& set = sets[i];
-    pg::LabelSetToken token = vocab.TokenForLabelSet(n.labels);
-    if (token != pg::kNoToken) set.push_back(MinHashLabelElement(token));
-    for (const auto& [key, value] : n.properties.entries()) {
-      set.push_back(MinHashKeyElement(key));
+  const size_t num = batch.node_ids.size();
+  const std::vector<pg::LabelSetToken>& tokens = NodeTokens(batch);
+  std::vector<std::vector<uint64_t>> sets(num);
+  const pg::PropertyGraph& graph = *graph_;
+  util::ParallelFor(pool_, 0, num, kRowGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const pg::Node& n = graph.node(batch.node_ids[i]);
+      auto& set = sets[i];
+      if (tokens[i] != pg::kNoToken) {
+        set.push_back(MinHashLabelElement(tokens[i]));
+      }
+      for (const auto& [key, value] : n.properties.entries()) {
+        set.push_back(MinHashKeyElement(key));
+      }
+      std::sort(set.begin(), set.end());
     }
-    std::sort(set.begin(), set.end());
-  }
+  });
   return sets;
 }
 
 std::vector<std::vector<uint64_t>> Vectorizer::EdgeSets(
     const pg::GraphBatch& batch) {
-  pg::Vocabulary& vocab = graph_->vocab();
-  std::vector<std::vector<uint64_t>> sets(batch.edge_ids.size());
-  for (size_t i = 0; i < batch.edge_ids.size(); ++i) {
-    const pg::Edge& e = graph_->edge(batch.edge_ids[i]);
-    auto& set = sets[i];
-    pg::LabelSetToken et = vocab.TokenForLabelSet(e.labels);
-    pg::LabelSetToken st = vocab.TokenForLabelSet(graph_->node(e.src).labels);
-    pg::LabelSetToken tt = vocab.TokenForLabelSet(graph_->node(e.dst).labels);
-    if (et != pg::kNoToken) set.push_back(MinHashLabelElement(et));
-    if (st != pg::kNoToken) set.push_back(MinHashSrcElement(st));
-    if (tt != pg::kNoToken) set.push_back(MinHashDstElement(tt));
-    for (const auto& [key, value] : e.properties.entries()) {
-      set.push_back(MinHashKeyElement(key));
+  const size_t num = batch.edge_ids.size();
+  const std::vector<EdgeTokens>& tokens = EdgeTokensFor(batch);
+  std::vector<std::vector<uint64_t>> sets(num);
+  const pg::PropertyGraph& graph = *graph_;
+  util::ParallelFor(pool_, 0, num, kRowGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const pg::Edge& e = graph.edge(batch.edge_ids[i]);
+      auto& set = sets[i];
+      if (tokens[i].edge != pg::kNoToken) {
+        set.push_back(MinHashLabelElement(tokens[i].edge));
+      }
+      if (tokens[i].src != pg::kNoToken) {
+        set.push_back(MinHashSrcElement(tokens[i].src));
+      }
+      if (tokens[i].dst != pg::kNoToken) {
+        set.push_back(MinHashDstElement(tokens[i].dst));
+      }
+      for (const auto& [key, value] : e.properties.entries()) {
+        set.push_back(MinHashKeyElement(key));
+      }
+      std::sort(set.begin(), set.end());
     }
-    std::sort(set.begin(), set.end());
-  }
+  });
   return sets;
 }
 

@@ -7,6 +7,7 @@
 #include "embed/embedder.h"
 #include "pg/batch.h"
 #include "pg/graph.h"
+#include "util/thread_pool.h"
 
 namespace pghive::core {
 
@@ -28,9 +29,19 @@ struct FeatureMatrix {
 /// vocabulary at vectorization time, and an absent label contributes a zero
 /// block. The binary block uses a global key-id -> column map shared by all
 /// rows of one call so identical patterns produce identical vectors.
+///
+/// With a thread pool, rows are sharded across workers. Label-set tokens are
+/// interned in a sequential pre-pass (in row order, so token ids never depend
+/// on the thread count); the parallel phase then only reads the graph and the
+/// embedder, and each row writes its own slice of the matrix — output is
+/// bit-identical at every pool size. As a side effect, every token of the
+/// batch (including edge endpoint tokens) is interned once NodeFeatures and
+/// EdgeFeatures have run, which is what lets the later node/edge tracks share
+/// the vocabulary read-only.
 class Vectorizer {
  public:
-  Vectorizer(pg::PropertyGraph* graph, const embed::LabelEmbedder* embedder);
+  Vectorizer(pg::PropertyGraph* graph, const embed::LabelEmbedder* embedder,
+             util::ThreadPool* pool = nullptr);
 
   /// Feature vectors for the batch's nodes (row i corresponds to
   /// batch.node_ids[i]).
@@ -48,8 +59,28 @@ class Vectorizer {
   std::vector<std::vector<uint64_t>> EdgeSets(const pg::GraphBatch& batch);
 
  private:
+  struct EdgeTokens {
+    pg::LabelSetToken edge, src, dst;
+  };
+
+  /// The sequential token-intern pre-passes, cached per id list: a token
+  /// depends only on the element's labels, so as long as the graph is
+  /// unchanged (which the vectorizer assumes for its lifetime — vocabulary
+  /// dimensions must stay fixed anyway) the same ids yield the same tokens.
+  /// The cache spares the MinHash path a second serial pass when
+  /// NodeSets/EdgeSets follow NodeFeatures/EdgeFeatures on the same batch.
+  const std::vector<pg::LabelSetToken>& NodeTokens(const pg::GraphBatch& batch);
+  const std::vector<EdgeTokens>& EdgeTokensFor(const pg::GraphBatch& batch);
+
   pg::PropertyGraph* graph_;
   const embed::LabelEmbedder* embedder_;
+  util::ThreadPool* pool_;
+  std::vector<pg::NodeId> node_token_ids_;
+  std::vector<pg::LabelSetToken> node_tokens_;
+  bool node_tokens_valid_ = false;
+  std::vector<pg::EdgeId> edge_token_ids_;
+  std::vector<EdgeTokens> edge_tokens_;
+  bool edge_tokens_valid_ = false;
 };
 
 /// Element-universe tags for MinHash sets (exposed for tests).

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "lsh/clustering.h"
+#include "util/thread_pool.h"
 
 namespace pghive::lsh {
 
@@ -30,12 +31,16 @@ class EuclideanLsh {
   /// Hashes one vector into all T tables. `out` receives T bucket ids.
   void Hash(const float* x, uint64_t* out) const;
 
-  /// Hashes `num` row-major vectors; returns num x T signatures.
-  std::vector<uint64_t> HashAll(const std::vector<float>& data,
-                                size_t num) const;
+  /// Hashes `num` row-major vectors; returns num x T signatures. With a
+  /// pool, rows are hashed in parallel (each row writes its own T-slot
+  /// stripe, so the result is identical at every pool size).
+  std::vector<uint64_t> HashAll(const std::vector<float>& data, size_t num,
+                                util::ThreadPool* pool = nullptr) const;
 
-  /// Full clustering pass over row-major vectors.
-  ClusterSet Cluster(const std::vector<float>& data, size_t num) const;
+  /// Full clustering pass over row-major vectors: parallel hashing followed
+  /// by the (sequential) grouping step.
+  ClusterSet Cluster(const std::vector<float>& data, size_t num,
+                     util::ThreadPool* pool = nullptr) const;
 
   size_t dim() const { return dim_; }
   const EuclideanLshParams& params() const { return params_; }

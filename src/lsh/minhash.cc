@@ -40,19 +40,23 @@ void MinHashLsh::Signature(const std::vector<uint64_t>& elements,
 }
 
 std::vector<uint64_t> MinHashLsh::SignatureAll(
-    const std::vector<std::vector<uint64_t>>& sets) const {
+    const std::vector<std::vector<uint64_t>>& sets,
+    util::ThreadPool* pool) const {
   const size_t t = params_.num_hashes;
   std::vector<uint64_t> sigs(sets.size() * t);
-  for (size_t i = 0; i < sets.size(); ++i) {
-    Signature(sets[i], &sigs[i * t]);
-  }
+  const size_t grain = std::max<size_t>(16, 4096 / std::max<size_t>(1, t));
+  util::ParallelFor(pool, 0, sets.size(), grain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      Signature(sets[i], &sigs[i * t]);
+    }
+  });
   return sigs;
 }
 
-ClusterSet MinHashLsh::Cluster(
-    const std::vector<std::vector<uint64_t>>& sets) const {
+ClusterSet MinHashLsh::Cluster(const std::vector<std::vector<uint64_t>>& sets,
+                               util::ThreadPool* pool) const {
   const size_t t = params_.num_hashes;
-  auto sigs = SignatureAll(sets);
+  auto sigs = SignatureAll(sets, pool);
   if (params_.amplification == Amplification::kAnd) {
     return ClusterBySignature(sigs, sets.size(), t);
   }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "lsh/clustering.h"
+#include "util/thread_pool.h"
 
 namespace pghive::lsh {
 
@@ -29,14 +30,18 @@ class MinHashLsh {
   /// Empty sets receive a sentinel signature unique to empty sets.
   void Signature(const std::vector<uint64_t>& elements, uint64_t* out) const;
 
-  /// Signatures of many sets, row-major num x T.
+  /// Signatures of many sets, row-major num x T. With a pool, the T-hash
+  /// permutations of each set are computed in parallel across sets (every
+  /// set writes its own signature stripe; identical at every pool size).
   std::vector<uint64_t> SignatureAll(
-      const std::vector<std::vector<uint64_t>>& sets) const;
+      const std::vector<std::vector<uint64_t>>& sets,
+      util::ThreadPool* pool = nullptr) const;
 
   /// Clusters sets. kAnd groups identical full signatures; kOr applies
   /// banding (union-find over band collisions) which approximates a Jaccard
-  /// threshold of (1/B)^(1/R).
-  ClusterSet Cluster(const std::vector<std::vector<uint64_t>>& sets) const;
+  /// threshold of (1/B)^(1/R). Hashing is parallel, grouping sequential.
+  ClusterSet Cluster(const std::vector<std::vector<uint64_t>>& sets,
+                     util::ThreadPool* pool = nullptr) const;
 
   /// Monte-Carlo-free estimate of Jaccard similarity from two signatures:
   /// the fraction of agreeing slots.

@@ -2,7 +2,9 @@
 //
 // Subcommands:
 //   discover  --graph FILE [--method elsh|minhash] [--batches N]
-//             [--out PREFIX] [--loose] [--sample-datatypes]
+//             [--out PREFIX] [--loose] [--sample-datatypes] [--threads N]
+//       --threads 0 (default) uses every hardware thread; --threads 1 runs
+//       serially. The discovered schema is identical for every value.
 //       Discovers the schema of a graph file (pg::SaveGraphFile format) and
 //       prints it; with --out also writes PREFIX.pgs and PREFIX.xsd.
 //   import    --nodes FILE[,FILE...] --edges FILE[,FILE...] --out GRAPH
@@ -100,6 +102,17 @@ int CmdDiscover(const Args& args) {
   }
   if (args.Has("sample-datatypes")) {
     options.datatype_options.sample = true;
+  }
+  if (args.Has("threads")) {
+    const std::string value = args.Get("threads", "0");
+    char* end = nullptr;
+    long long threads = std::strtoll(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || threads < 0 ||
+        threads > 4096) {
+      return Fail("--threads must be an integer in [0, 4096] "
+                  "(0 = hardware threads)");
+    }
+    options.num_threads = static_cast<size_t>(threads);
   }
   core::PgHive pipeline(&graph, options);
   size_t batches = std::max(1, std::atoi(args.Get("batches", "1").c_str()));
@@ -215,7 +228,7 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "usage: pghive <discover|import|generate|validate> [options]\n"
                "  discover --graph FILE [--method elsh|minhash] [--batches N]"
-               " [--out PREFIX] [--loose]\n"
+               " [--out PREFIX] [--loose] [--threads N]\n"
                "  import   --nodes a.csv,b.csv --edges rels.csv --out g.pg\n"
                "  generate --dataset POLE [--scale 1.0] [--seed 42] --out g.pg\n"
                "  validate --graph g.pg --schema s.pgs [--strict]\n");
