@@ -7,8 +7,9 @@
 //
 //   bench_micro --speedup_json=FILE [--speedup_scale=S]
 //
-// runs vectorize + cluster on an LDBC-like graph (>= 100k elements at the
-// default scale) at 1/2/4/hw threads and writes per-stage speedup JSON.
+// runs vectorize + cluster + group (signature group-by in isolation) on an
+// LDBC-like graph (>= 100k elements at the default scale) at 1/2/4/hw
+// threads and writes per-stage speedup JSON.
 
 #include <benchmark/benchmark.h>
 
@@ -28,6 +29,7 @@
 #include "datasets/zoo.h"
 #include "embed/hash_embedder.h"
 #include "embed/word2vec.h"
+#include "lsh/clustering.h"
 #include "lsh/euclidean_lsh.h"
 #include "lsh/minhash.h"
 #include "util/rng.h"
@@ -171,6 +173,30 @@ void BM_ElshClusterThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_ElshClusterThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
 
+void BM_SignatureGroupByThreads(benchmark::State& state) {
+  // Heavily duplicated signatures (~64 items per distinct row) — the
+  // realistic load for the grouping stage, which is map-bound, not
+  // hash-bound.
+  const size_t num = 262144, t = 20, distinct = 4096;
+  util::Rng rng(13);
+  std::vector<uint64_t> rows(distinct * t);
+  for (auto& x : rows) x = rng.NextU64();
+  std::vector<uint64_t> sigs(num * t);
+  for (size_t i = 0; i < num; ++i) {
+    const uint64_t* row = &rows[rng.NextBounded(distinct) * t];
+    std::copy(row, row + t, &sigs[i * t]);
+  }
+  size_t threads = SweepThreads(state);
+  util::ThreadPool pool(threads);
+  for (auto _ : state) {
+    auto clusters = lsh::ClusterBySignature(sigs, num, t,
+                                            threads > 1 ? &pool : nullptr);
+    benchmark::DoNotOptimize(clusters);
+  }
+  state.SetItemsProcessed(state.iterations() * num);
+}
+BENCHMARK(BM_SignatureGroupByThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
+
 // ---- Speedup sweep mode (perf-tracking JSON artifact) -------------------
 
 struct StageTimes {
@@ -198,11 +224,19 @@ int RunSpeedupSweep(const std::string& json_path, double scale) {
 
   embed::HashEmbedder embedder(&dataset.graph.vocab(), 8, 11);
   // Intern every token (and build vocab columns) once, outside the timings.
-  {
-    core::Vectorizer warmup(&dataset.graph, &embedder, nullptr);
-    warmup.NodeFeatures(batch);
-    warmup.EdgeFeatures(batch);
-  }
+  // Features and signatures are thread-count-invariant, so this warmup pass
+  // also provides the fixed input of the grouping stage.
+  lsh::EuclideanLshParams lsh_params;
+  lsh_params.num_tables = 20;
+  core::Vectorizer warmup(&dataset.graph, &embedder, nullptr);
+  core::FeatureMatrix warm_nodes = warmup.NodeFeatures(batch);
+  core::FeatureMatrix warm_edges = warmup.EdgeFeatures(batch);
+  lsh::EuclideanLsh warm_node_hasher(warm_nodes.dim, lsh_params);
+  lsh::EuclideanLsh warm_edge_hasher(warm_edges.dim, lsh_params);
+  std::vector<uint64_t> node_sigs =
+      warm_node_hasher.HashAll(warm_nodes.data, warm_nodes.num);
+  std::vector<uint64_t> edge_sigs =
+      warm_edge_hasher.HashAll(warm_edges.data, warm_edges.num);
 
   std::vector<size_t> counts = {1, 2, 4,
                                 util::ThreadPool::ResolveThreads(0)};
@@ -211,6 +245,7 @@ int RunSpeedupSweep(const std::string& json_path, double scale) {
 
   StageTimes vectorize{"vectorize", {}, {}};
   StageTimes cluster{"cluster", {}, {}};
+  StageTimes group{"group", {}, {}};
   for (size_t threads : counts) {
     util::ThreadPool pool(threads);
     util::ThreadPool* p = threads > 1 ? &pool : nullptr;
@@ -221,16 +256,25 @@ int RunSpeedupSweep(const std::string& json_path, double scale) {
       node_features = vectorizer.NodeFeatures(batch);
       edge_features = vectorizer.EdgeFeatures(batch);
     }));
-    lsh::EuclideanLshParams params;
-    params.num_tables = 20;
-    lsh::EuclideanLsh node_hasher(node_features.dim, params);
-    lsh::EuclideanLsh edge_hasher(edge_features.dim, params);
+    lsh::EuclideanLsh node_hasher(node_features.dim, lsh_params);
+    lsh::EuclideanLsh edge_hasher(edge_features.dim, lsh_params);
     cluster.threads.push_back(threads);
     cluster.ms.push_back(MinMillisOf3([&] {
       auto nc = node_hasher.Cluster(node_features.data, node_features.num, p);
       auto ec = edge_hasher.Cluster(edge_features.data, edge_features.num, p);
       benchmark::DoNotOptimize(nc);
       benchmark::DoNotOptimize(ec);
+    }));
+    // Grouping in isolation, on the precomputed signatures (the cluster
+    // stage above times hashing + grouping together).
+    group.threads.push_back(threads);
+    group.ms.push_back(MinMillisOf3([&] {
+      auto ng = lsh::ClusterBySignature(node_sigs, warm_nodes.num,
+                                        lsh_params.num_tables, p);
+      auto eg = lsh::ClusterBySignature(edge_sigs, warm_edges.num,
+                                        lsh_params.num_tables, p);
+      benchmark::DoNotOptimize(ng);
+      benchmark::DoNotOptimize(eg);
     }));
   }
 
@@ -245,8 +289,9 @@ int RunSpeedupSweep(const std::string& json_path, double scale) {
                "  \"hardware_threads\": %zu,\n  \"stages\": [",
                scale, batch.node_ids.size(), batch.edge_ids.size(),
                util::ThreadPool::ResolveThreads(0));
-  const StageTimes* stages[] = {&vectorize, &cluster};
-  for (size_t s = 0; s < 2; ++s) {
+  const StageTimes* stages[] = {&vectorize, &cluster, &group};
+  const size_t num_stages = sizeof(stages) / sizeof(stages[0]);
+  for (size_t s = 0; s < num_stages; ++s) {
     const StageTimes& st = *stages[s];
     std::fprintf(out, "%s\n    {\"stage\": \"%s\", \"results\": [",
                  s ? "," : "", st.stage);
@@ -262,7 +307,7 @@ int RunSpeedupSweep(const std::string& json_path, double scale) {
   std::fprintf(out, "\n  ]\n}\n");
   std::fclose(out);
   std::fprintf(stderr, "wrote %s\n", json_path.c_str());
-  for (size_t s = 0; s < 2; ++s) {
+  for (size_t s = 0; s < num_stages; ++s) {
     const StageTimes& st = *stages[s];
     for (size_t i = 0; i < st.threads.size(); ++i) {
       std::fprintf(stderr, "  %-10s threads=%zu  %8.2f ms  (%.2fx)\n",

@@ -5,6 +5,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace pghive::util {
+class ThreadPool;
+}
+
 namespace pghive::lsh {
 
 /// How the T hash tables are combined into clusters (§4.2).
@@ -45,14 +49,26 @@ class ClusterSet {
 
 /// Groups items by their full T-entry signature (AND amplification).
 /// `signatures` is row-major: item i occupies [i*T, (i+1)*T).
+///
+/// With a pool, the combined-signature hashing and the group-by both run in
+/// parallel (util::ParallelRadixGroupBy); cluster ids are byte-identical to
+/// the serial first-occurrence assignment at every pool size.
 ClusterSet ClusterBySignature(const std::vector<uint64_t>& signatures,
-                              size_t num_items, size_t t);
+                              size_t num_items, size_t t,
+                              util::ThreadPool* pool = nullptr);
 
 /// Union-find clustering: items sharing any per-table bucket are merged
 /// (OR amplification). Signature layout as above; bucket identity within
 /// table k is (k, signatures[i*T+k]).
+///
+/// With a pool, the per-table bucket -> first-occupant maps are built
+/// concurrently (tables are independent); the recorded Union edges are then
+/// replayed into util::UnionFind in fixed (table, item) order, so the
+/// resulting partition and its first-occurrence cluster ids match the
+/// serial scan exactly.
 ClusterSet ClusterByAnyCollision(const std::vector<uint64_t>& signatures,
-                                 size_t num_items, size_t t);
+                                 size_t num_items, size_t t,
+                                 util::ThreadPool* pool = nullptr);
 
 }  // namespace pghive::lsh
 

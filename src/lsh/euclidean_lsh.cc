@@ -53,9 +53,9 @@ ClusterSet EuclideanLsh::Cluster(const std::vector<float>& data, size_t num,
                                  util::ThreadPool* pool) const {
   auto sigs = HashAll(data, num, pool);
   if (params_.amplification == Amplification::kAnd) {
-    return ClusterBySignature(sigs, num, params_.num_tables);
+    return ClusterBySignature(sigs, num, params_.num_tables, pool);
   }
-  return ClusterByAnyCollision(sigs, num, params_.num_tables);
+  return ClusterByAnyCollision(sigs, num, params_.num_tables, pool);
 }
 
 double EuclideanLsh::CollisionProbability(double distance,

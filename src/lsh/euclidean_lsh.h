@@ -38,7 +38,9 @@ class EuclideanLsh {
                                 util::ThreadPool* pool = nullptr) const;
 
   /// Full clustering pass over row-major vectors: parallel hashing followed
-  /// by the (sequential) grouping step.
+  /// by the parallel grouping step (radix group-by for kAnd, concurrent
+  /// per-table bucket maps + ordered union replay for kOr). Output is
+  /// byte-identical at every pool size.
   ClusterSet Cluster(const std::vector<float>& data, size_t num,
                      util::ThreadPool* pool = nullptr) const;
 

@@ -1,0 +1,92 @@
+#include "util/parallel_group_by.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/thread_pool.h"
+
+namespace pghive::util {
+
+namespace {
+
+/// Below this size the serial scan wins over shard setup.
+constexpr size_t kSerialCutoff = 1 << 13;
+
+std::vector<uint32_t> SerialGroupBy(const std::vector<uint64_t>& keys) {
+  std::vector<uint32_t> assignment(keys.size());
+  std::unordered_map<uint64_t, uint32_t> first;
+  first.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto [it, inserted] =
+        first.try_emplace(keys[i], static_cast<uint32_t>(first.size()));
+    assignment[i] = it->second;
+  }
+  return assignment;
+}
+
+}  // namespace
+
+std::vector<uint32_t> ParallelRadixGroupBy(const std::vector<uint64_t>& keys,
+                                           ThreadPool* pool) {
+  const size_t n = keys.size();
+  const size_t threads = pool == nullptr ? 1 : pool->num_threads();
+  if (threads <= 1 || n < kSerialCutoff) return SerialGroupBy(keys);
+
+  // Shard count: a few shards per thread for load balance under skewed key
+  // distributions, capped so the chunk x shard scatter stays small.
+  size_t shards = 1;
+  while (shards < threads * 4 && shards < 256) shards <<= 1;
+  int shift = 64;
+  for (size_t s = shards; s > 1; s >>= 1) --shift;
+
+  // Phase 1 — scatter: each chunk routes its item indices (in order) into
+  // per-shard lists. Chunks are disjoint, so no synchronization is needed,
+  // and concatenating a shard's lists in chunk order recovers the global
+  // item order within the shard.
+  const size_t grain = std::max<size_t>(kSerialCutoff, n / (threads * 8));
+  const size_t num_chunks = (n + grain - 1) / grain;
+  std::vector<std::vector<std::vector<uint32_t>>> scatter(
+      num_chunks, std::vector<std::vector<uint32_t>>(shards));
+  pool->ParallelFor(0, num_chunks, 1, [&](size_t clo, size_t chi) {
+    for (size_t c = clo; c < chi; ++c) {
+      auto& lists = scatter[c];
+      const size_t reserve = grain / shards + 8;
+      for (auto& list : lists) list.reserve(reserve);
+      const size_t lo = c * grain;
+      const size_t hi = std::min(n, lo + grain);
+      for (size_t i = lo; i < hi; ++i) {
+        lists[keys[i] >> shift].push_back(static_cast<uint32_t>(i));
+      }
+    }
+  });
+
+  // Phase 2 — per-shard resolve: rep[i] = lowest item index sharing i's key.
+  // Each shard owns a disjoint set of items, so rep writes never race.
+  std::vector<uint32_t> rep(n);
+  pool->ParallelFor(0, shards, 1, [&](size_t slo, size_t shi) {
+    std::unordered_map<uint64_t, uint32_t> first;
+    for (size_t s = slo; s < shi; ++s) {
+      size_t count = 0;
+      for (size_t c = 0; c < num_chunks; ++c) count += scatter[c][s].size();
+      first.clear();
+      first.reserve(count);
+      for (size_t c = 0; c < num_chunks; ++c) {
+        for (uint32_t i : scatter[c][s]) {
+          auto [it, inserted] = first.try_emplace(keys[i], i);
+          rep[i] = it->second;
+        }
+      }
+    }
+  });
+
+  // Phase 3 — sequential renumber in first-occurrence order. rep[i] <= i,
+  // so the representative's id is always assigned before it is read.
+  std::vector<uint32_t> assignment(n);
+  uint32_t next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    assignment[i] = rep[i] == i ? next++ : assignment[rep[i]];
+  }
+  return assignment;
+}
+
+}  // namespace pghive::util

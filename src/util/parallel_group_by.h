@@ -1,0 +1,29 @@
+#ifndef PGHIVE_UTIL_PARALLEL_GROUP_BY_H_
+#define PGHIVE_UTIL_PARALLEL_GROUP_BY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pghive::util {
+
+class ThreadPool;
+
+/// Groups `keys` into dense ids in [0, num_groups), assigned in order of
+/// first occurrence — exactly the ids a serial first-seen hash-map scan
+/// would produce, at every pool size.
+///
+/// Parallel scheme (radix group-by): items are scattered into shards by the
+/// top bits of their key (keys are expected to be well-mixed hashes), each
+/// shard resolves key -> lowest item index with that key concurrently, and a
+/// final sequential pass renumbers representatives in first-occurrence
+/// order. Only that last O(n) loop is serial; it is a branch-and-increment
+/// scan, not a hash-map build.
+///
+/// A null pool, a 1-thread pool, or a small input runs the serial scan.
+std::vector<uint32_t> ParallelRadixGroupBy(const std::vector<uint64_t>& keys,
+                                           ThreadPool* pool = nullptr);
+
+}  // namespace pghive::util
+
+#endif  // PGHIVE_UTIL_PARALLEL_GROUP_BY_H_

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/thread_pool.h"
+
 namespace pghive::lsh {
 namespace {
 
@@ -67,6 +69,60 @@ TEST(ClusterByAnyCollisionTest, BucketsAreTableScoped) {
   };
   auto clusters = ClusterByAnyCollision(sigs, 2, 2);
   EXPECT_EQ(clusters.num_clusters(), 2u);
+}
+
+// ---- Edge cases (serial and pooled paths must agree) --------------------
+
+TEST(ClusteringEdgeCaseTest, EmptyInput) {
+  util::ThreadPool pool(4);
+  for (util::ThreadPool* p : {static_cast<util::ThreadPool*>(nullptr), &pool}) {
+    EXPECT_EQ(ClusterBySignature({}, 0, 3, p).num_items(), 0u);
+    EXPECT_EQ(ClusterBySignature({}, 0, 3, p).num_clusters(), 0u);
+    EXPECT_EQ(ClusterByAnyCollision({}, 0, 3, p).num_items(), 0u);
+    EXPECT_EQ(ClusterByAnyCollision({}, 0, 3, p).num_clusters(), 0u);
+  }
+}
+
+TEST(ClusteringEdgeCaseTest, SingleItem) {
+  util::ThreadPool pool(4);
+  std::vector<uint64_t> sigs = {11, 22, 33};
+  for (util::ThreadPool* p : {static_cast<util::ThreadPool*>(nullptr), &pool}) {
+    auto and_clusters = ClusterBySignature(sigs, 1, 3, p);
+    EXPECT_EQ(and_clusters.num_clusters(), 1u);
+    EXPECT_EQ(and_clusters.cluster_of(0), 0u);
+    auto or_clusters = ClusterByAnyCollision(sigs, 1, 3, p);
+    EXPECT_EQ(or_clusters.num_clusters(), 1u);
+    EXPECT_EQ(or_clusters.members(0), (std::vector<uint32_t>{0}));
+  }
+}
+
+TEST(ClusteringEdgeCaseTest, AllItemsCollide) {
+  const size_t num = 200, t = 4;
+  std::vector<uint64_t> sigs(num * t);
+  for (size_t i = 0; i < num; ++i) {
+    for (size_t k = 0; k < t; ++k) sigs[i * t + k] = 77 + k;
+  }
+  util::ThreadPool pool(8);
+  for (util::ThreadPool* p : {static_cast<util::ThreadPool*>(nullptr), &pool}) {
+    EXPECT_EQ(ClusterBySignature(sigs, num, t, p).num_clusters(), 1u);
+    auto or_clusters = ClusterByAnyCollision(sigs, num, t, p);
+    EXPECT_EQ(or_clusters.num_clusters(), 1u);
+    EXPECT_EQ(or_clusters.members(0).size(), num);
+  }
+}
+
+TEST(ClusteringEdgeCaseTest, SingleTable) {
+  // t=1: AND and OR semantics coincide — identical partitions, identical
+  // first-occurrence ids.
+  std::vector<uint64_t> sigs = {4, 9, 4, 2, 9, 4};
+  util::ThreadPool pool(4);
+  for (util::ThreadPool* p : {static_cast<util::ThreadPool*>(nullptr), &pool}) {
+    auto and_clusters = ClusterBySignature(sigs, 6, 1, p);
+    auto or_clusters = ClusterByAnyCollision(sigs, 6, 1, p);
+    EXPECT_EQ(and_clusters.assignment(), or_clusters.assignment());
+    EXPECT_EQ(and_clusters.assignment(),
+              (std::vector<uint32_t>{0, 1, 0, 2, 1, 0}));
+  }
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace pghive::lsh {
 namespace {
@@ -132,6 +133,60 @@ TEST(MinHashTest, RowsPerBandClampedToNumHashes) {
   params.rows_per_band = 100;
   MinHashLsh hasher(params);
   EXPECT_EQ(hasher.params().rows_per_band, 8u);
+}
+
+// ---- Banding edge cases (serial and pooled paths must agree) ------------
+
+MinHashLsh BandingHasher(size_t num_hashes = 12, size_t rows_per_band = 3) {
+  MinHashParams params;
+  params.num_hashes = num_hashes;
+  params.rows_per_band = rows_per_band;
+  params.amplification = Amplification::kOr;
+  return MinHashLsh(params);
+}
+
+TEST(MinHashBandingEdgeCaseTest, EmptyInput) {
+  MinHashLsh hasher = BandingHasher();
+  util::ThreadPool pool(4);
+  for (util::ThreadPool* p : {static_cast<util::ThreadPool*>(nullptr), &pool}) {
+    auto clusters = hasher.Cluster({}, p);
+    EXPECT_EQ(clusters.num_items(), 0u);
+    EXPECT_EQ(clusters.num_clusters(), 0u);
+  }
+}
+
+TEST(MinHashBandingEdgeCaseTest, SingleSet) {
+  MinHashLsh hasher = BandingHasher();
+  util::ThreadPool pool(4);
+  for (util::ThreadPool* p : {static_cast<util::ThreadPool*>(nullptr), &pool}) {
+    auto clusters = hasher.Cluster({{1, 2, 3}}, p);
+    EXPECT_EQ(clusters.num_clusters(), 1u);
+    EXPECT_EQ(clusters.cluster_of(0), 0u);
+  }
+}
+
+TEST(MinHashBandingEdgeCaseTest, AllSetsCollide) {
+  MinHashLsh hasher = BandingHasher();
+  std::vector<std::vector<uint64_t>> sets(100, {4, 8, 15, 16, 23, 42});
+  util::ThreadPool pool(8);
+  for (util::ThreadPool* p : {static_cast<util::ThreadPool*>(nullptr), &pool}) {
+    auto clusters = hasher.Cluster(sets, p);
+    EXPECT_EQ(clusters.num_clusters(), 1u);
+    EXPECT_EQ(clusters.members(0).size(), sets.size());
+  }
+}
+
+TEST(MinHashBandingEdgeCaseTest, SingleHashSingleRowBand) {
+  // t=1, r=1: one band of one row; sets cluster iff their single minhash
+  // slots agree.
+  MinHashLsh hasher = BandingHasher(/*num_hashes=*/1, /*rows_per_band=*/1);
+  std::vector<std::vector<uint64_t>> sets = {{1, 2}, {1, 2}, {900}};
+  util::ThreadPool pool(4);
+  for (util::ThreadPool* p : {static_cast<util::ThreadPool*>(nullptr), &pool}) {
+    auto clusters = hasher.Cluster(sets, p);
+    EXPECT_EQ(clusters.cluster_of(0), clusters.cluster_of(1));
+    EXPECT_NE(clusters.cluster_of(0), clusters.cluster_of(2));
+  }
 }
 
 TEST(ExactJaccardTest, Basics) {

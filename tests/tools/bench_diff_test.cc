@@ -1,0 +1,136 @@
+#include "tools/bench_diff_lib.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pghive::tools {
+namespace {
+
+constexpr const char* kSweepJson = R"({
+  "benchmark": "pghive_parallel_sweep",
+  "scale": 4,
+  "nodes": 100,
+  "edges": 200,
+  "hardware_threads": 8,
+  "stages": [
+    {"stage": "vectorize", "results": [
+      {"threads": 1, "ms": 100.0, "speedup": 1.0},
+      {"threads": 2, "ms": 55.0, "speedup": 1.818}
+    ]},
+    {"stage": "group", "results": [
+      {"threads": 1, "ms": 40.0, "speedup": 1.0}
+    ]}
+  ]
+})";
+
+TEST(ParseBenchJsonTest, SweepFormat) {
+  std::string error;
+  auto entries = ParseBenchJson(kSweepJson, &error);
+  ASSERT_EQ(entries.size(), 3u) << error;
+  EXPECT_EQ(entries[0].name, "vectorize/threads=1");
+  EXPECT_DOUBLE_EQ(entries[0].ms, 100.0);
+  EXPECT_EQ(entries[1].name, "vectorize/threads=2");
+  EXPECT_EQ(entries[2].name, "group/threads=1");
+  EXPECT_DOUBLE_EQ(entries[2].ms, 40.0);
+}
+
+TEST(ParseBenchJsonTest, GoogleBenchmarkFormatConvertsUnits) {
+  std::string error;
+  auto entries = ParseBenchJson(R"({
+    "context": {"host_name": "ci"},
+    "benchmarks": [
+      {"name": "BM_ElshHash/16", "run_type": "iteration",
+       "real_time": 2.5e6, "cpu_time": 2.4e6, "time_unit": "ns"},
+      {"name": "BM_ElshHash/16_mean", "run_type": "aggregate",
+       "real_time": 2.5e6, "time_unit": "ns"},
+      {"name": "BM_GmmEm", "real_time": 3.0, "time_unit": "ms"}
+    ]
+  })",
+                                &error);
+  ASSERT_EQ(entries.size(), 2u) << error;
+  EXPECT_EQ(entries[0].name, "BM_ElshHash/16");
+  EXPECT_DOUBLE_EQ(entries[0].ms, 2.5);  // ns -> ms; aggregate row skipped.
+  EXPECT_DOUBLE_EQ(entries[1].ms, 3.0);
+}
+
+TEST(ParseBenchJsonTest, MalformedInputSetsError) {
+  std::string error;
+  EXPECT_TRUE(ParseBenchJson("{\"stages\": [", &error).empty());
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(ParseBenchJson("{\"other\": 1}", &error).empty());
+  EXPECT_NE(error.find("unrecognized"), std::string::npos);
+}
+
+TEST(DiffEntriesTest, MatchesByNameAndSkipsUnpaired) {
+  std::vector<BenchEntry> baseline = {{"a", 100.0}, {"gone", 5.0},
+                                      {"b", 50.0}};
+  std::vector<BenchEntry> current = {{"b", 60.0}, {"a", 90.0},
+                                     {"new", 7.0}};
+  auto rows = DiffEntries(baseline, current);
+  ASSERT_EQ(rows.size(), 2u);  // "gone" and "new" are not comparable.
+  EXPECT_EQ(rows[0].name, "a");
+  EXPECT_DOUBLE_EQ(rows[0].delta_pct, -10.0);
+  EXPECT_EQ(rows[1].name, "b");
+  EXPECT_DOUBLE_EQ(rows[1].delta_pct, 20.0);
+}
+
+TEST(IsRegressionTest, SingleRowPredicate) {
+  EXPECT_TRUE(IsRegression({"x", 100.0, 120.0, 20.0}, 10.0));
+  EXPECT_FALSE(IsRegression({"x", 100.0, 105.0, 5.0}, 10.0));
+  EXPECT_FALSE(IsRegression({"x", 0.0, 105.0, 0.0}, 10.0));
+}
+
+TEST(AnyRegressionTest, ThresholdIsStrict) {
+  std::vector<DiffRow> rows = {{"x", 100.0, 110.0, 10.0}};
+  EXPECT_FALSE(AnyRegression(rows, 10.0));  // Exactly at threshold: pass.
+  rows[0].cur_ms = 110.1;
+  rows[0].delta_pct = 10.1;
+  EXPECT_TRUE(AnyRegression(rows, 10.0));   // Past threshold: fail.
+  EXPECT_FALSE(AnyRegression(rows, 25.0));  // Looser gate: pass.
+}
+
+TEST(AnyRegressionTest, ImprovementAndZeroBaselineNeverRegress) {
+  std::vector<DiffRow> rows = {
+      {"faster", 100.0, 50.0, -50.0},
+      {"zero-base", 0.0, 50.0, 0.0},
+  };
+  EXPECT_FALSE(AnyRegression(rows, 10.0));
+}
+
+TEST(AnyRegressionTest, SyntheticTenPercentInjection) {
+  // The acceptance scenario: a >10% slowdown injected into one stage of an
+  // otherwise identical sweep must trip the gate.
+  std::string error;
+  auto baseline = ParseBenchJson(kSweepJson, &error);
+  ASSERT_FALSE(baseline.empty()) << error;
+  std::string regressed_json = kSweepJson;
+  size_t pos = regressed_json.find("\"ms\": 40.0");
+  ASSERT_NE(pos, std::string::npos);
+  regressed_json.replace(pos, 10, "\"ms\": 45.0");  // group: +12.5%.
+  auto current = ParseBenchJson(regressed_json, &error);
+  ASSERT_FALSE(current.empty()) << error;
+  auto rows = DiffEntries(baseline, current);
+  EXPECT_TRUE(AnyRegression(rows, 10.0));
+  EXPECT_FALSE(AnyRegression(DiffEntries(baseline, baseline), 10.0));
+}
+
+TEST(MarkdownTableTest, FlagsRegressionsPastThreshold) {
+  std::vector<DiffRow> rows = {
+      {"group/threads=2", 40.0, 48.0, 20.0},
+      {"vectorize/threads=2", 55.0, 54.0, -1.8},
+  };
+  std::string table = MarkdownTable(rows, 10.0);
+  EXPECT_NE(table.find("| group/threads=2 | 40.000 | 48.000 | +20.0% |"),
+            std::string::npos);
+  EXPECT_NE(table.find("regression"), std::string::npos);
+  EXPECT_NE(table.find("ok"), std::string::npos);
+}
+
+TEST(MarkdownTableTest, EmptyDiffRendersPlaceholder) {
+  std::string table = MarkdownTable({}, 10.0);
+  EXPECT_NE(table.find("no comparable entries"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pghive::tools

@@ -1,0 +1,119 @@
+// bench_diff — the CI bench-regression gate.
+//
+//   bench_diff BASELINE.json CURRENT.json [--threshold=PCT]
+//              [--markdown_out=FILE]
+//
+// Compares two bench JSON artifacts (either the bench_micro --speedup_json
+// sweep format or google-benchmark --benchmark_out format), prints the
+// per-entry delta table, and optionally writes it as markdown (for the
+// GitHub job summary). Exit codes: 0 = no regression, 1 = at least one
+// entry slowed down by more than the threshold (default 10%), 2 = usage or
+// parse error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tools/bench_diff_lib.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s BASELINE.json CURRENT.json [--threshold=PCT] "
+               "[--markdown_out=FILE]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, current_path, markdown_path;
+  double threshold = 10.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
+      char* end = nullptr;
+      threshold = std::strtod(argv[i] + 12, &end);
+      if (end == argv[i] + 12 || *end != '\0') {
+        std::fprintf(stderr, "invalid --threshold value: %s\n", argv[i] + 12);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--markdown_out=", 15) == 0) {
+      markdown_path = argv[i] + 15;
+    } else if (argv[i][0] == '-') {
+      return Usage(argv[0]);
+    } else if (baseline_path.empty()) {
+      baseline_path = argv[i];
+    } else if (current_path.empty()) {
+      current_path = argv[i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) return Usage(argv[0]);
+
+  std::string baseline_text, current_text, error;
+  if (!ReadFile(baseline_path, &baseline_text)) {
+    std::fprintf(stderr, "cannot read %s\n", baseline_path.c_str());
+    return 2;
+  }
+  if (!ReadFile(current_path, &current_text)) {
+    std::fprintf(stderr, "cannot read %s\n", current_path.c_str());
+    return 2;
+  }
+  auto baseline = pghive::tools::ParseBenchJson(baseline_text, &error);
+  if (baseline.empty()) {
+    std::fprintf(stderr, "%s: %s\n", baseline_path.c_str(),
+                 error.empty() ? "no entries" : error.c_str());
+    return 2;
+  }
+  auto current = pghive::tools::ParseBenchJson(current_text, &error);
+  if (current.empty()) {
+    std::fprintf(stderr, "%s: %s\n", current_path.c_str(),
+                 error.empty() ? "no entries" : error.c_str());
+    return 2;
+  }
+
+  auto rows = pghive::tools::DiffEntries(baseline, current);
+  for (const auto& row : rows) {
+    bool regressed = pghive::tools::IsRegression(row, threshold);
+    std::printf("%-40s %10.3f -> %10.3f ms  %+7.1f%%%s\n", row.name.c_str(),
+                row.base_ms, row.cur_ms, row.delta_pct,
+                regressed ? "  REGRESSION" : "");
+  }
+  if (rows.empty()) {
+    std::fprintf(stderr, "warning: no comparable entries between %s and %s\n",
+                 baseline_path.c_str(), current_path.c_str());
+  }
+
+  if (!markdown_path.empty()) {
+    std::ofstream md(markdown_path);
+    if (!md) {
+      std::fprintf(stderr, "cannot write %s\n", markdown_path.c_str());
+      return 2;
+    }
+    md << "### Bench regression gate (threshold " << threshold << "%)\n\n"
+       << pghive::tools::MarkdownTable(rows, threshold);
+  }
+
+  if (pghive::tools::AnyRegression(rows, threshold)) {
+    std::fprintf(stderr, "FAIL: regression past %.1f%% threshold\n",
+                 threshold);
+    return 1;
+  }
+  std::printf("OK: no entry slower than %.1f%% over baseline\n", threshold);
+  return 0;
+}

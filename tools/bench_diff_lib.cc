@@ -1,0 +1,330 @@
+#include "tools/bench_diff_lib.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <utility>
+
+namespace pghive::tools {
+
+namespace {
+
+// ---- Minimal JSON reader ------------------------------------------------
+//
+// Just enough of RFC 8259 for the two bench artifact formats: objects,
+// arrays, strings (common escapes), numbers, true/false/null. No external
+// dependency, fails soft (parse error -> empty result + message).
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Get(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    bool ok = ParseValue(out);
+    SkipWhitespace();
+    return ok && pos_ == text_.size();
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+      case 'f':
+        return ParseLiteral(out);
+      case 'n':
+        return ParseLiteral(out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    if (!Consume('{')) return Fail("expected '{'");
+    if (Consume('}')) return true;
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace_back(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return true;
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    if (!Consume('[')) return Fail("expected '['");
+    if (Consume(']')) return true;
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return true;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("dangling escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u':
+          // Benchmark names are ASCII; keep a placeholder for exotic input.
+          if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+          pos_ += 4;
+          out->push_back('?');
+          break;
+        default: out->push_back(esc); break;
+      }
+    }
+    if (pos_ >= text_.size()) return Fail("unterminated string");
+    ++pos_;  // Closing quote.
+    return true;
+  }
+
+  bool ParseLiteral(JsonValue* out) {
+    auto match = [&](const char* word) {
+      size_t len = std::char_traits<char>::length(word);
+      if (text_.compare(pos_, len, word) != 0) return false;
+      pos_ += len;
+      return true;
+    };
+    if (match("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    return Fail("unknown literal");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    double value = std::strtod(start, &end);
+    if (end == start) return Fail("expected number");
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = value;
+    pos_ += static_cast<size_t>(end - start);
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---- Format extraction --------------------------------------------------
+
+double AsMillis(double value, const std::string& unit) {
+  if (unit == "ns") return value / 1e6;
+  if (unit == "us") return value / 1e3;
+  if (unit == "s") return value * 1e3;
+  return value;  // "ms" (google-benchmark default is ns, always present).
+}
+
+bool ExtractSweepStages(const JsonValue& root, std::vector<BenchEntry>* out,
+                        std::string* error) {
+  const JsonValue* stages = root.Get("stages");
+  for (const JsonValue& stage : stages->array) {
+    const JsonValue* name = stage.Get("stage");
+    const JsonValue* results = stage.Get("results");
+    if (name == nullptr || results == nullptr) {
+      *error = "stage entry missing 'stage' or 'results'";
+      return false;
+    }
+    for (const JsonValue& result : results->array) {
+      const JsonValue* threads = result.Get("threads");
+      const JsonValue* ms = result.Get("ms");
+      if (threads == nullptr || ms == nullptr) {
+        *error = "result entry missing 'threads' or 'ms'";
+        return false;
+      }
+      out->push_back(
+          {name->string + "/threads=" +
+               std::to_string(static_cast<long long>(threads->number)),
+           ms->number});
+    }
+  }
+  return true;
+}
+
+bool ExtractGoogleBenchmarks(const JsonValue& root,
+                             std::vector<BenchEntry>* out,
+                             std::string* error) {
+  const JsonValue* benchmarks = root.Get("benchmarks");
+  for (const JsonValue& bench : benchmarks->array) {
+    const JsonValue* name = bench.Get("name");
+    const JsonValue* real_time = bench.Get("real_time");
+    if (name == nullptr || real_time == nullptr) {
+      *error = "benchmark entry missing 'name' or 'real_time'";
+      return false;
+    }
+    // Skip aggregate rows (mean/median/stddev repeats of the same name).
+    if (bench.Get("run_type") != nullptr &&
+        bench.Get("run_type")->string == "aggregate") {
+      continue;
+    }
+    const JsonValue* unit = bench.Get("time_unit");
+    out->push_back({name->string,
+                    AsMillis(real_time->number,
+                             unit == nullptr ? "ns" : unit->string)});
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<BenchEntry> ParseBenchJson(const std::string& text,
+                                       std::string* error) {
+  error->clear();
+  JsonValue root;
+  JsonParser parser(text);
+  if (!parser.Parse(&root)) {
+    *error = "JSON parse error: " + parser.error();
+    return {};
+  }
+  std::vector<BenchEntry> entries;
+  bool ok = false;
+  if (root.Get("stages") != nullptr) {
+    ok = ExtractSweepStages(root, &entries, error);
+  } else if (root.Get("benchmarks") != nullptr) {
+    ok = ExtractGoogleBenchmarks(root, &entries, error);
+  } else {
+    *error = "unrecognized bench JSON: no 'stages' or 'benchmarks' key";
+  }
+  if (!ok) entries.clear();
+  return entries;
+}
+
+std::vector<DiffRow> DiffEntries(const std::vector<BenchEntry>& baseline,
+                                 const std::vector<BenchEntry>& current) {
+  std::unordered_map<std::string, double> current_ms;
+  current_ms.reserve(current.size());
+  for (const BenchEntry& entry : current) current_ms[entry.name] = entry.ms;
+  std::vector<DiffRow> rows;
+  for (const BenchEntry& base : baseline) {
+    auto it = current_ms.find(base.name);
+    if (it == current_ms.end()) continue;
+    DiffRow row;
+    row.name = base.name;
+    row.base_ms = base.ms;
+    row.cur_ms = it->second;
+    row.delta_pct =
+        base.ms > 0 ? (it->second - base.ms) / base.ms * 100.0 : 0.0;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+bool IsRegression(const DiffRow& row, double threshold_pct) {
+  return row.base_ms > 0 && row.delta_pct > threshold_pct;
+}
+
+bool AnyRegression(const std::vector<DiffRow>& rows, double threshold_pct) {
+  for (const DiffRow& row : rows) {
+    if (IsRegression(row, threshold_pct)) return true;
+  }
+  return false;
+}
+
+std::string MarkdownTable(const std::vector<DiffRow>& rows,
+                          double threshold_pct) {
+  std::string out =
+      "| benchmark | baseline (ms) | current (ms) | delta | status |\n"
+      "|---|---:|---:|---:|:---|\n";
+  char buf[96];
+  for (const DiffRow& row : rows) {
+    bool regressed = IsRegression(row, threshold_pct);
+    std::snprintf(buf, sizeof(buf), " | %.3f | %.3f | %+.1f%% | ",
+                  row.base_ms, row.cur_ms, row.delta_pct);
+    out += "| " + row.name + buf + (regressed ? "❌ regression" : "✅ ok") +
+           " |\n";
+  }
+  if (rows.empty()) out += "| _no comparable entries_ | | | | |\n";
+  return out;
+}
+
+}  // namespace pghive::tools

@@ -1,0 +1,56 @@
+#ifndef PGHIVE_TOOLS_BENCH_DIFF_LIB_H_
+#define PGHIVE_TOOLS_BENCH_DIFF_LIB_H_
+
+#include <string>
+#include <vector>
+
+namespace pghive::tools {
+
+/// One timed entry extracted from a bench JSON file, keyed by a stable name
+/// ("<stage>/threads=<n>" for the speedup-sweep format, the benchmark name
+/// for the google-benchmark format).
+struct BenchEntry {
+  std::string name;
+  double ms = 0.0;
+};
+
+/// A matched (baseline, current) pair with its relative delta.
+struct DiffRow {
+  std::string name;
+  double base_ms = 0.0;
+  double cur_ms = 0.0;
+  double delta_pct = 0.0;  ///< (cur - base) / base * 100; + means slower.
+};
+
+/// Parses either supported bench JSON format, detected by its top-level key:
+///   - the bench_micro --speedup_json artifact ("stages": per-stage,
+///     per-thread-count ms), or
+///   - google-benchmark --benchmark_out ("benchmarks": real_time +
+///     time_unit, converted to ms).
+/// Returns entries in file order; on malformed input returns empty and sets
+/// *error.
+std::vector<BenchEntry> ParseBenchJson(const std::string& text,
+                                       std::string* error);
+
+/// Joins baseline and current by entry name (baseline order). Entries
+/// present on only one side are skipped — a changed benchmark set is not a
+/// regression.
+std::vector<DiffRow> DiffEntries(const std::vector<BenchEntry>& baseline,
+                                 const std::vector<BenchEntry>& current);
+
+/// The gate predicate: the row slowed down by strictly more than
+/// threshold_pct percent. Rows with a non-positive baseline never regress
+/// (no meaningful ratio).
+bool IsRegression(const DiffRow& row, double threshold_pct);
+
+/// True if IsRegression holds for any row.
+bool AnyRegression(const std::vector<DiffRow>& rows, double threshold_pct);
+
+/// Renders the delta table as GitHub-flavored markdown (for the CI job
+/// summary): one row per entry, regressions past the threshold flagged.
+std::string MarkdownTable(const std::vector<DiffRow>& rows,
+                          double threshold_pct);
+
+}  // namespace pghive::tools
+
+#endif  // PGHIVE_TOOLS_BENCH_DIFF_LIB_H_
