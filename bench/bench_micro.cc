@@ -7,9 +7,9 @@
 //
 //   bench_micro --speedup_json=FILE [--speedup_scale=S]
 //
-// runs vectorize + cluster + group (signature group-by in isolation) on an
-// LDBC-like graph (>= 100k elements at the default scale) at 1/2/4/hw
-// threads and writes per-stage speedup JSON.
+// runs embed (Word2Vec training) + vectorize + cluster + group (signature
+// group-by in isolation) on an LDBC-like graph (>= 100k elements at the
+// default scale) at 1/2/4/hw threads and writes per-stage speedup JSON.
 
 #include <benchmark/benchmark.h>
 
@@ -173,6 +173,20 @@ void BM_ElshClusterThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_ElshClusterThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
 
+void BM_Word2VecTrainByThreads(benchmark::State& state) {
+  auto dataset = datasets::Generate(datasets::LdbcSpec(), 1.0, 4);
+  embed::LabelCorpus corpus = embed::BuildLabelCorpus(dataset.graph);
+  size_t threads = SweepThreads(state);
+  util::ThreadPool pool(threads);
+  for (auto _ : state) {
+    embed::Word2VecOptions options;
+    embed::Word2Vec model(&dataset.graph.vocab(), options);
+    model.Train(corpus, threads > 1 ? &pool : nullptr);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_Word2VecTrainByThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
+
 void BM_SignatureGroupByThreads(benchmark::State& state) {
   // Heavily duplicated signatures (~64 items per distinct row) — the
   // realistic load for the grouping stage, which is map-bound, not
@@ -223,6 +237,9 @@ int RunSpeedupSweep(const std::string& json_path, double scale) {
                batch.node_ids.size(), batch.edge_ids.size(), elements);
 
   embed::HashEmbedder embedder(&dataset.graph.vocab(), 8, 11);
+  // The Word2Vec corpus is thread-count-invariant; build it once so the
+  // embed stage times training only.
+  embed::LabelCorpus corpus = embed::BuildLabelCorpus(dataset.graph);
   // Intern every token (and build vocab columns) once, outside the timings.
   // Features and signatures are thread-count-invariant, so this warmup pass
   // also provides the fixed input of the grouping stage.
@@ -243,12 +260,21 @@ int RunSpeedupSweep(const std::string& json_path, double scale) {
   std::sort(counts.begin(), counts.end());
   counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
 
+  StageTimes embed_stage{"embed", {}, {}};
   StageTimes vectorize{"vectorize", {}, {}};
   StageTimes cluster{"cluster", {}, {}};
   StageTimes group{"group", {}, {}};
   for (size_t threads : counts) {
     util::ThreadPool pool(threads);
     util::ThreadPool* p = threads > 1 ? &pool : nullptr;
+    embed_stage.threads.push_back(threads);
+    embed_stage.ms.push_back(MinMillisOf3([&] {
+      // A fresh model per rep: Train is incremental, and the sweep should
+      // time the same cold-start training at every thread count.
+      embed::Word2Vec model(&dataset.graph.vocab(), {});
+      model.Train(corpus, p);
+      benchmark::DoNotOptimize(model);
+    }));
     core::Vectorizer vectorizer(&dataset.graph, &embedder, p);
     core::FeatureMatrix node_features, edge_features;
     vectorize.threads.push_back(threads);
@@ -289,7 +315,7 @@ int RunSpeedupSweep(const std::string& json_path, double scale) {
                "  \"hardware_threads\": %zu,\n  \"stages\": [",
                scale, batch.node_ids.size(), batch.edge_ids.size(),
                util::ThreadPool::ResolveThreads(0));
-  const StageTimes* stages[] = {&vectorize, &cluster, &group};
+  const StageTimes* stages[] = {&embed_stage, &vectorize, &cluster, &group};
   const size_t num_stages = sizeof(stages) / sizeof(stages[0]);
   for (size_t s = 0; s < num_stages; ++s) {
     const StageTimes& st = *stages[s];

@@ -129,7 +129,7 @@ util::Status PgHive::ProcessBatch(const pg::GraphBatch& batch) {
   // build representation vectors.
   if (word2vec_ != nullptr) {
     embed::LabelCorpus corpus = embed::BuildLabelCorpus(*graph_, batch);
-    word2vec_->Train(corpus);
+    word2vec_->Train(corpus, pool_.get());
   }
   Vectorizer vectorizer(graph_, embedder_.get(), pool_.get());
   FeatureMatrix node_features = vectorizer.NodeFeatures(batch);

@@ -52,8 +52,9 @@ struct PgHiveOptions {
   /// (1.0 = the paper's heuristic).
   double alpha_scale = 1.0;
 
-  /// Worker threads for the parallel pipeline stages (vectorization, LSH
-  /// hashing, the concurrent node/edge tracks, datatype sampling).
+  /// Worker threads for the parallel pipeline stages (Word2Vec training,
+  /// vectorization, LSH hashing, the concurrent node/edge tracks, datatype
+  /// sampling).
   /// 0 = hardware concurrency, 1 = the serial path. The discovered schema
   /// is bit-identical for every value: parallel loops shard by index and
   /// all RNG seeds are pre-split per shard.

@@ -1,9 +1,12 @@
 #include "embed/word2vec.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace pghive::embed {
 
@@ -14,6 +17,58 @@ float Sigmoid(float x) {
   if (x < -8.0f) return 0.0f;
   return 1.0f / (1.0f + std::exp(-x));
 }
+
+/// One (center, context) skip-gram pair. Enumeration order is fixed by the
+/// corpus, so a pair's global index is a stable identity the batching can
+/// key on at every thread count.
+struct TrainPair {
+  uint32_t center;
+  uint32_t context;
+};
+
+/// Walks the corpus in sentence order and collects every in-window pair,
+/// stopping exactly at max_pairs_per_epoch. Every epoch trains on this same
+/// list (only the negative-sample streams differ by epoch).
+std::vector<TrainPair> EnumeratePairs(const LabelCorpus& corpus,
+                                      const Word2VecOptions& options) {
+  std::vector<TrainPair> pairs;
+  for (const auto& sentence : corpus.sentences) {
+    for (size_t i = 0; i < sentence.size(); ++i) {
+      pg::LabelSetToken center = sentence[i];
+      if (center == pg::kNoToken) continue;
+      size_t lo = i >= options.window ? i - options.window : 0;
+      size_t hi = std::min(sentence.size(), i + options.window + 1);
+      for (size_t j = lo; j < hi; ++j) {
+        if (j == i) continue;
+        pg::LabelSetToken context = sentence[j];
+        if (context == pg::kNoToken) continue;
+        if (pairs.size() >= options.max_pairs_per_epoch) return pairs;
+        pairs.push_back({center, context});
+      }
+    }
+  }
+  return pairs;
+}
+
+/// Sparse gradient of one minibatch, computed against the wave-start weight
+/// snapshot. Scratch is owned per wave slot and reused across waves.
+struct BatchGrad {
+  /// Each pair's center row at compute time; the apply pass needs it after
+  /// earlier batches may already have moved the live row.
+  std::vector<float> center_snap;   // num_pairs x dim
+  std::vector<float> center_delta;  // num_pairs x dim
+  /// (output row, scaled error g) per positive/negative sample, appended in
+  /// pair-then-sample order; counts[p] of them belong to pair p.
+  std::vector<std::pair<uint32_t, float>> outputs;
+  std::vector<uint32_t> counts;
+  size_t num_pairs = 0;
+};
+
+/// Batches whose gradients are computed concurrently against one snapshot
+/// before any update lands. Fixed (never derived from the pool size) so the
+/// gradient staleness — and therefore the trained model — is identical at
+/// every thread count.
+constexpr size_t kBatchesPerWave = 16;
 
 }  // namespace
 
@@ -44,56 +99,99 @@ void Word2Vec::EnsureCapacity(size_t vocab_size) {
   }
 }
 
-void Word2Vec::Train(const LabelCorpus& corpus) {
+void Word2Vec::Train(const LabelCorpus& corpus, util::ThreadPool* pool) {
   EnsureCapacity(corpus.vocab_size);
   if (corpus.sentences.empty() || corpus.vocab_size == 0) return;
 
   const size_t dim = options_.dim;
-  util::Rng rng(options_.seed ^ 0x5bd1e995ULL);
-
-  // Unigram table for negative sampling (uniform over tokens is fine for
-  // label vocabularies, which are tiny compared to text vocabularies).
+  // Negative sampling is uniform over tokens (a unigram table buys nothing
+  // for label vocabularies, which are tiny compared to text vocabularies).
   const size_t vocab_size = corpus.vocab_size;
+  const size_t batch_size = std::max<size_t>(1, options_.batch_size);
 
-  std::vector<float> grad(dim);
+  const std::vector<TrainPair> pairs = EnumeratePairs(corpus, options_);
+  if (pairs.empty()) return;
+  const size_t num_batches = (pairs.size() + batch_size - 1) / batch_size;
+
+  std::vector<BatchGrad> wave(std::min(kBatchesPerWave, num_batches));
+  for (BatchGrad& grad : wave) {
+    grad.center_snap.resize(batch_size * dim);
+    grad.center_delta.resize(batch_size * dim);
+    grad.counts.resize(batch_size);
+    grad.outputs.reserve(batch_size * (options_.negatives + 1));
+  }
+
   for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
-    size_t pairs = 0;
-    for (const auto& sentence : corpus.sentences) {
-      if (pairs >= options_.max_pairs_per_epoch) break;
-      for (size_t i = 0; i < sentence.size(); ++i) {
-        pg::LabelSetToken center = sentence[i];
-        if (center == pg::kNoToken) continue;
-        size_t lo = i >= options_.window ? i - options_.window : 0;
-        size_t hi = std::min(sentence.size(), i + options_.window + 1);
-        for (size_t j = lo; j < hi; ++j) {
-          if (j == i) continue;
-          pg::LabelSetToken context = sentence[j];
-          if (context == pg::kNoToken) continue;
-          ++pairs;
-          float* v_in = &input_[center * dim];
-          std::fill(grad.begin(), grad.end(), 0.0f);
-          // One positive plus `negatives` negative updates.
-          for (size_t n = 0; n <= options_.negatives; ++n) {
-            uint32_t target;
-            float label;
-            if (n == 0) {
-              target = context;
-              label = 1.0f;
-            } else {
-              target = static_cast<uint32_t>(rng.NextBounded(vocab_size));
-              if (target == context) continue;
-              label = 0.0f;
+    for (size_t wave_begin = 0; wave_begin < num_batches;
+         wave_begin += kBatchesPerWave) {
+      const size_t wave_end =
+          std::min(num_batches, wave_begin + kBatchesPerWave);
+      // Compute pass: nothing writes the weights until ParallelFor returns,
+      // so every batch in the wave reads the same snapshot and its gradient
+      // depends only on (epoch, batch index) — never on which worker ran it
+      // or how the index range was chunked.
+      util::ParallelFor(
+          pool, wave_begin, wave_end, 1, [&](size_t b_lo, size_t b_hi) {
+            for (size_t b = b_lo; b < b_hi; ++b) {
+              BatchGrad& grad = wave[b - wave_begin];
+              const size_t pair_begin = b * batch_size;
+              const size_t pair_end =
+                  std::min(pairs.size(), pair_begin + batch_size);
+              grad.num_pairs = pair_end - pair_begin;
+              grad.outputs.clear();
+              std::fill_n(grad.center_delta.begin(), grad.num_pairs * dim,
+                          0.0f);
+              util::Rng rng(util::HashCombine(
+                  util::HashCombine(options_.seed ^ 0x5bd1e995ULL, epoch),
+                  b));
+              for (size_t p = 0; p < grad.num_pairs; ++p) {
+                const TrainPair& pair = pairs[pair_begin + p];
+                const float* v_in = &input_[pair.center * dim];
+                float* snap = &grad.center_snap[p * dim];
+                std::copy(v_in, v_in + dim, snap);
+                float* delta = &grad.center_delta[p * dim];
+                uint32_t count = 0;
+                // One positive plus `negatives` negative samples.
+                for (size_t n = 0; n <= options_.negatives; ++n) {
+                  uint32_t target;
+                  float label;
+                  if (n == 0) {
+                    target = pair.context;
+                    label = 1.0f;
+                  } else {
+                    target =
+                        static_cast<uint32_t>(rng.NextBounded(vocab_size));
+                    if (target == pair.context) continue;
+                    label = 0.0f;
+                  }
+                  const float* v_out = &output_[target * dim];
+                  float dot = 0.0f;
+                  for (size_t d = 0; d < dim; ++d) dot += snap[d] * v_out[d];
+                  float g = (label - Sigmoid(dot)) * options_.learning_rate;
+                  for (size_t d = 0; d < dim; ++d) delta[d] += g * v_out[d];
+                  grad.outputs.emplace_back(target, g);
+                  ++count;
+                }
+                grad.counts[p] = count;
+              }
             }
+          });
+      // Apply pass: the only weight writes, serialized on the calling
+      // thread in batch-then-pair-then-sample order, so the float
+      // accumulation order is the same at every pool size.
+      for (size_t b = wave_begin; b < wave_end; ++b) {
+        const BatchGrad& grad = wave[b - wave_begin];
+        size_t off = 0;
+        for (size_t p = 0; p < grad.num_pairs; ++p) {
+          const float* snap = &grad.center_snap[p * dim];
+          for (uint32_t k = 0; k < grad.counts[p]; ++k, ++off) {
+            const auto& [target, g] = grad.outputs[off];
             float* v_out = &output_[target * dim];
-            float dot = 0.0f;
-            for (size_t d = 0; d < dim; ++d) dot += v_in[d] * v_out[d];
-            float g = (label - Sigmoid(dot)) * options_.learning_rate;
-            for (size_t d = 0; d < dim; ++d) {
-              grad[d] += g * v_out[d];
-              v_out[d] += g * v_in[d];
-            }
+            for (size_t d = 0; d < dim; ++d) v_out[d] += g * snap[d];
           }
-          for (size_t d = 0; d < dim; ++d) v_in[d] += grad[d];
+          float* v_in = &input_[pairs[b * batch_size + p].center * dim];
+          const float* delta = &grad.center_delta[p * dim];
+          for (size_t d = 0; d < dim; ++d) v_in[d] += delta[d];
         }
       }
     }

@@ -6,6 +6,10 @@
 #include "embed/corpus.h"
 #include "embed/embedder.h"
 
+namespace pghive::util {
+class ThreadPool;
+}  // namespace pghive::util
+
 namespace pghive::embed {
 
 /// Training options for the skip-gram negative-sampling model.
@@ -23,8 +27,15 @@ struct Word2VecOptions {
   float identity_weight = 0.5f;
   uint64_t seed = 0x9e3779b9ULL;
   /// Caps training pairs per epoch to bound cost on large graphs; the label
-  /// corpus is highly redundant so subsampling loses nothing.
+  /// corpus is highly redundant so subsampling loses nothing. The cap is
+  /// exact: pair enumeration stops at this many (center, context) pairs.
   size_t max_pairs_per_epoch = 200000;
+  /// Pairs per minibatch. The minibatch is the unit of deterministic
+  /// parallelism: every pair in a batch reads the weights as of the start of
+  /// the batch's wave, and the per-batch negative-sample RNG stream is
+  /// seeded only by (epoch, batch index), so batch contents never depend on
+  /// the thread count. 0 is treated as 1.
+  size_t batch_size = 256;
 };
 
 /// A miniature Word2Vec (skip-gram with negative sampling) over label-set
@@ -39,7 +50,13 @@ class Word2Vec : public LabelEmbedder {
   /// Trains (or continues training) on the corpus. Tokens added to the
   /// vocabulary since the last call get freshly initialized rows, which is
   /// what incremental batch processing relies on.
-  void Train(const LabelCorpus& corpus);
+  ///
+  /// Minibatch SGD over waves of fixed-size batches: each batch's gradient
+  /// is computed against the weights as of the start of its wave and the
+  /// accumulated updates are applied in batch order, so the trained
+  /// embeddings are byte-identical for every pool size. A null (or
+  /// 1-thread) pool runs the same schedule inline — the serial path.
+  void Train(const LabelCorpus& corpus, util::ThreadPool* pool = nullptr);
 
   size_t dim() const override { return options_.dim; }
   void Embed(pg::LabelSetToken token, float* out) const override;

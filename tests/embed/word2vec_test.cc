@@ -92,6 +92,80 @@ TEST(Word2VecTest, EmbeddingsAreUnitNorm) {
   EXPECT_NEAR(norm2, 1.0, 1e-4);
 }
 
+TEST(Word2VecTest, EmptyCorpusIsANoOp) {
+  pg::Vocabulary vocab;
+  Word2Vec model(&vocab, {});
+  model.Train(LabelCorpus{});
+  EXPECT_EQ(model.num_rows(), 0u);
+}
+
+TEST(Word2VecTest, CorpusWithoutPairsLeavesInitializationUntouched) {
+  // Single-token sentences allocate rows but produce no training pairs, so
+  // training must be idempotent from the deterministic initialization.
+  pg::PropertyGraph g;
+  g.AddNode({"A"});
+  g.AddNode({"B"});
+  LabelCorpus corpus = BuildLabelCorpus(g);
+  Word2Vec model(&g.vocab(), {});
+  model.Train(corpus);
+  EXPECT_GT(model.num_rows(), 0u);
+  auto t = g.vocab().TokenForLabelSet({g.vocab().FindLabel("A")});
+  auto before = model.EmbedVec(t);
+  model.Train(corpus);
+  EXPECT_EQ(model.EmbedVec(t), before);
+}
+
+TEST(Word2VecTest, CorpusSmallerThanOneMinibatchIsBatchSizeInvariant) {
+  // All pairs fall into batch 0 whenever the corpus is smaller than one
+  // minibatch, so any sufficiently large batch_size must train identically
+  // (same pair schedule, same (epoch, batch=0) RNG stream).
+  pg::PropertyGraph g = CommunityGraph();
+  LabelCorpus corpus = BuildLabelCorpus(g);
+  // CommunityGraph yields 360 pairs; both sizes hold them in one batch.
+  Word2VecOptions small;
+  small.batch_size = 512;
+  Word2VecOptions large;
+  large.batch_size = 100000;
+  Word2Vec m1(&g.vocab(), small);
+  Word2Vec m2(&g.vocab(), large);
+  m1.Train(corpus);
+  m2.Train(corpus);
+  auto t = g.vocab().TokenForLabelSet({g.vocab().FindLabel("A")});
+  EXPECT_EQ(m1.EmbedVec(t), m2.EmbedVec(t));
+}
+
+TEST(Word2VecTest, MaxPairsPerEpochTruncatesExactly) {
+  pg::PropertyGraph g = CommunityGraph();
+  auto token = [&](const char* name) {
+    return g.vocab().TokenForLabelSet({g.vocab().FindLabel(name)});
+  };
+  // A 3-token sentence yields 6 in-window pairs at the default window of 2.
+  std::vector<pg::LabelSetToken> sentence = {token("A"), token("B"),
+                                             token("C")};
+  LabelCorpus two_sentences;
+  two_sentences.vocab_size = g.vocab().num_tokens();
+  two_sentences.sentences = {sentence, sentence};
+  LabelCorpus three_sentences = two_sentences;
+  three_sentences.sentences.push_back(sentence);
+
+  // Capped at exactly the first two sentences' pairs, the third sentence
+  // must not influence training at all.
+  Word2VecOptions options;
+  options.max_pairs_per_epoch = 12;
+  Word2Vec capped(&g.vocab(), options);
+  Word2Vec uncapped(&g.vocab(), options);
+  capped.Train(three_sentences);
+  uncapped.Train(two_sentences);
+  EXPECT_EQ(capped.EmbedVec(token("A")), uncapped.EmbedVec(token("A")));
+  EXPECT_EQ(capped.EmbedVec(token("C")), uncapped.EmbedVec(token("C")));
+
+  // One more allowed pair and the cap is no longer a no-op.
+  options.max_pairs_per_epoch = 13;
+  Word2Vec looser(&g.vocab(), options);
+  looser.Train(three_sentences);
+  EXPECT_NE(looser.EmbedVec(token("A")), capped.EmbedVec(token("A")));
+}
+
 TEST(Word2VecTest, IncrementalTrainingGrowsVocabulary) {
   pg::PropertyGraph g;
   pg::NodeId a = g.AddNode({"A"});
@@ -105,6 +179,13 @@ TEST(Word2VecTest, IncrementalTrainingGrowsVocabulary) {
   g.AddEdge(a, c, {"R2"});
   model.Train(BuildLabelCorpus(g));
   EXPECT_GT(model.num_rows(), rows_before);
+  // The token added by the second call trains from a fresh row and comes
+  // out as a usable (unit-norm) embedding, not zeros.
+  auto tc = g.vocab().TokenForLabelSet({g.vocab().FindLabel("C")});
+  auto v = model.EmbedVec(tc);
+  double norm2 = 0;
+  for (float x : v) norm2 += static_cast<double>(x) * x;
+  EXPECT_NEAR(norm2, 1.0, 1e-4);
 }
 
 TEST(Word2VecTest, DistinctTokensStayDistinguishable) {

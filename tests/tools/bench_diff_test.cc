@@ -30,9 +30,19 @@ TEST(ParseBenchJsonTest, SweepFormat) {
   ASSERT_EQ(entries.size(), 3u) << error;
   EXPECT_EQ(entries[0].name, "vectorize/threads=1");
   EXPECT_DOUBLE_EQ(entries[0].ms, 100.0);
+  EXPECT_DOUBLE_EQ(entries[0].speedup, 1.0);
   EXPECT_EQ(entries[1].name, "vectorize/threads=2");
+  EXPECT_DOUBLE_EQ(entries[1].speedup, 1.818);
   EXPECT_EQ(entries[2].name, "group/threads=1");
   EXPECT_DOUBLE_EQ(entries[2].ms, 40.0);
+}
+
+TEST(ParseBenchJsonTest, GoogleBenchmarkEntriesHaveNoSpeedup) {
+  std::string error;
+  auto entries = ParseBenchJson(
+      R"({"benchmarks": [{"name": "BM_X", "real_time": 1e6}]})", &error);
+  ASSERT_EQ(entries.size(), 1u) << error;
+  EXPECT_DOUBLE_EQ(entries[0].speedup, 0.0);
 }
 
 TEST(ParseBenchJsonTest, GoogleBenchmarkFormatConvertsUnits) {
@@ -113,6 +123,84 @@ TEST(AnyRegressionTest, SyntheticTenPercentInjection) {
   auto rows = DiffEntries(baseline, current);
   EXPECT_TRUE(AnyRegression(rows, 10.0));
   EXPECT_FALSE(AnyRegression(DiffEntries(baseline, baseline), 10.0));
+}
+
+TEST(DiffEntriesTest, CarriesSpeedupRatiosWhenBothSidesHaveThem) {
+  std::vector<BenchEntry> baseline = {{"s/threads=2", 50.0, 2.0},
+                                      {"plain", 10.0, 0.0}};
+  std::vector<BenchEntry> current = {{"s/threads=2", 52.0, 1.5},
+                                     {"plain", 10.0, 0.0}};
+  auto rows = DiffEntries(baseline, current);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].base_speedup, 2.0);
+  EXPECT_DOUBLE_EQ(rows[0].cur_speedup, 1.5);
+  EXPECT_DOUBLE_EQ(rows[0].speedup_drop_pct, 25.0);  // 2.0x -> 1.5x.
+  EXPECT_DOUBLE_EQ(rows[1].base_speedup, 0.0);       // No ratio data.
+}
+
+TEST(IsRegressionTest, SpeedupRatioMode) {
+  DiffRow dropped{"x", 50.0, 48.0, -4.0, 2.0, 1.5, 25.0};
+  // The same row through the two lenses: ms got *faster* while scaling got
+  // worse — exactly the case the ratio mode exists to catch.
+  EXPECT_FALSE(IsRegression(dropped, 20.0, GateMode::kAbsoluteMs));
+  EXPECT_TRUE(IsRegression(dropped, 20.0, GateMode::kSpeedupRatio));
+  EXPECT_FALSE(IsRegression(dropped, 25.0, GateMode::kSpeedupRatio));  // Strict.
+
+  DiffRow improved{"x", 50.0, 40.0, -20.0, 2.0, 2.5, -25.0};
+  EXPECT_FALSE(IsRegression(improved, 10.0, GateMode::kSpeedupRatio));
+
+  // Entries without ratio data (google-benchmark format, threads=1 rows
+  // whose baseline carries no speedup) never regress in ratio mode.
+  DiffRow no_ratio{"x", 50.0, 500.0, 900.0};
+  EXPECT_FALSE(IsRegression(no_ratio, 10.0, GateMode::kSpeedupRatio));
+}
+
+TEST(RegressedNamesTest, CollectsFlaggedRowsInOrder) {
+  std::vector<DiffRow> rows = {
+      {"a", 100.0, 150.0, 50.0},
+      {"b", 100.0, 101.0, 1.0},
+      {"c", 100.0, 130.0, 30.0},
+  };
+  auto names = RegressedNames(rows, 10.0, GateMode::kAbsoluteMs);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "c");
+  EXPECT_TRUE(RegressedNames(rows, 10.0, GateMode::kSpeedupRatio).empty());
+}
+
+TEST(ConsecutiveRegressionsTest, FirstTripWarnsSecondTripFails) {
+  // Run N: "group" trips for the first time -> no failures, only a warning.
+  std::vector<std::string> prior;
+  auto failures = ConsecutiveRegressions({"group/threads=4"}, prior);
+  EXPECT_TRUE(failures.empty());
+
+  // Run N+1: "group" trips again -> fails; a newly tripped stage does not.
+  prior = {"group/threads=4"};
+  failures =
+      ConsecutiveRegressions({"vectorize/threads=2", "group/threads=4"}, prior);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0], "group/threads=4");
+
+  // Run N+2: the stage recovered -> nothing fails even though it is still
+  // in the prior list.
+  EXPECT_TRUE(ConsecutiveRegressions({}, prior).empty());
+}
+
+TEST(MarkdownTableTest, SpeedupModeShowsRatiosAndWarnThenFailStatus) {
+  std::vector<DiffRow> rows = {
+      {"group/threads=4", 40.0, 42.0, 5.0, 3.0, 2.0, 33.3},
+      {"vectorize/threads=4", 55.0, 54.0, -1.8, 3.5, 2.4, 31.4},
+      {"embed/threads=4", 30.0, 29.0, -3.3, 3.0, 2.9, 3.3},
+  };
+  std::vector<std::string> prior = {"group/threads=4"};
+  std::string table = MarkdownTable(rows, 20.0, GateMode::kSpeedupRatio,
+                                    &prior);
+  EXPECT_NE(table.find("baseline speedup"), std::string::npos);
+  EXPECT_NE(table.find("| group/threads=4 | 3.00x | 2.00x | +33.3% |"),
+            std::string::npos);
+  EXPECT_NE(table.find("2nd consecutive"), std::string::npos);  // group.
+  EXPECT_NE(table.find("warn (first trip)"), std::string::npos);  // vectorize.
+  EXPECT_NE(table.find("✅ ok"), std::string::npos);  // embed.
 }
 
 TEST(MarkdownTableTest, FlagsRegressionsPastThreshold) {

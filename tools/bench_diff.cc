@@ -1,21 +1,34 @@
 // bench_diff — the CI bench-regression gate.
 //
-//   bench_diff BASELINE.json CURRENT.json [--threshold=PCT]
+//   bench_diff BASELINE.json CURRENT.json [--threshold=PCT] [--mode=ms|speedup]
 //              [--markdown_out=FILE]
+//              [--warn_state_in=FILE] [--warn_state_out=FILE]
 //
 // Compares two bench JSON artifacts (either the bench_micro --speedup_json
 // sweep format or google-benchmark --benchmark_out format), prints the
 // per-entry delta table, and optionally writes it as markdown (for the
-// GitHub job summary). Exit codes: 0 = no regression, 1 = at least one
-// entry slowed down by more than the threshold (default 10%), 2 = usage or
-// parse error.
+// GitHub job summary).
+//
+// --mode=ms (default) gates on absolute per-entry milliseconds; --mode=speedup
+// gates on the drop in parallel speedup ratios, which divide out the host —
+// the robust setting for heterogeneous hosted CI runners.
+//
+// With --warn_state_in / --warn_state_out the gate is warn-then-fail: a
+// regression only fails when the same entry is also listed in the state file
+// written by the previous run (one entry name per line); a first trip exits 0
+// with a warning. Without the state flags every regression fails immediately.
+//
+// Exit codes: 0 = gate passed (possibly with first-trip warnings), 1 = gate
+// failed, 2 = usage or parse error.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "tools/bench_diff_lib.h"
 
@@ -30,10 +43,21 @@ bool ReadFile(const std::string& path, std::string* out) {
   return true;
 }
 
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s BASELINE.json CURRENT.json [--threshold=PCT] "
-               "[--markdown_out=FILE]\n",
+               "[--mode=ms|speedup] [--markdown_out=FILE] "
+               "[--warn_state_in=FILE] [--warn_state_out=FILE]\n",
                argv0);
   return 2;
 }
@@ -42,6 +66,8 @@ int Usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::string baseline_path, current_path, markdown_path;
+  std::string warn_state_in, warn_state_out;
+  pghive::tools::GateMode mode = pghive::tools::GateMode::kAbsoluteMs;
   double threshold = 10.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
@@ -51,8 +77,21 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "invalid --threshold value: %s\n", argv[i] + 12);
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--mode=", 7) == 0) {
+      if (std::strcmp(argv[i] + 7, "ms") == 0) {
+        mode = pghive::tools::GateMode::kAbsoluteMs;
+      } else if (std::strcmp(argv[i] + 7, "speedup") == 0) {
+        mode = pghive::tools::GateMode::kSpeedupRatio;
+      } else {
+        std::fprintf(stderr, "invalid --mode value: %s\n", argv[i] + 7);
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--markdown_out=", 15) == 0) {
       markdown_path = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--warn_state_in=", 16) == 0) {
+      warn_state_in = argv[i] + 16;
+    } else if (std::strncmp(argv[i], "--warn_state_out=", 17) == 0) {
+      warn_state_out = argv[i] + 17;
     } else if (argv[i][0] == '-') {
       return Usage(argv[0]);
     } else if (baseline_path.empty()) {
@@ -87,16 +126,45 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const bool warn_then_fail = !warn_state_in.empty() || !warn_state_out.empty();
+  std::vector<std::string> prior;
+  if (!warn_state_in.empty()) prior = ReadLines(warn_state_in);
+
   auto rows = pghive::tools::DiffEntries(baseline, current);
+  auto regressed = pghive::tools::RegressedNames(rows, threshold, mode);
+  auto failures = warn_then_fail
+                      ? pghive::tools::ConsecutiveRegressions(regressed, prior)
+                      : regressed;
+
+  const bool speedup_mode = mode == pghive::tools::GateMode::kSpeedupRatio;
   for (const auto& row : rows) {
-    bool regressed = pghive::tools::IsRegression(row, threshold);
-    std::printf("%-40s %10.3f -> %10.3f ms  %+7.1f%%%s\n", row.name.c_str(),
-                row.base_ms, row.cur_ms, row.delta_pct,
-                regressed ? "  REGRESSION" : "");
+    const char* flag = "";
+    if (pghive::tools::IsRegression(row, threshold, mode)) {
+      bool fails = std::find(failures.begin(), failures.end(), row.name) !=
+                   failures.end();
+      flag = fails ? "  REGRESSION" : "  WARN";
+    }
+    if (speedup_mode) {
+      std::printf("%-40s %9.2fx -> %9.2fx     %+7.1f%%%s\n", row.name.c_str(),
+                  row.base_speedup, row.cur_speedup, row.speedup_drop_pct,
+                  flag);
+    } else {
+      std::printf("%-40s %10.3f -> %10.3f ms  %+7.1f%%%s\n", row.name.c_str(),
+                  row.base_ms, row.cur_ms, row.delta_pct, flag);
+    }
   }
   if (rows.empty()) {
     std::fprintf(stderr, "warning: no comparable entries between %s and %s\n",
                  baseline_path.c_str(), current_path.c_str());
+  }
+
+  if (!warn_state_out.empty()) {
+    std::ofstream state(warn_state_out);
+    if (!state) {
+      std::fprintf(stderr, "cannot write %s\n", warn_state_out.c_str());
+      return 2;
+    }
+    for (const auto& name : regressed) state << name << "\n";
   }
 
   if (!markdown_path.empty()) {
@@ -105,15 +173,30 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", markdown_path.c_str());
       return 2;
     }
-    md << "### Bench regression gate (threshold " << threshold << "%)\n\n"
-       << pghive::tools::MarkdownTable(rows, threshold);
+    md << "### Bench regression gate ("
+       << (speedup_mode ? "speedup ratios" : "absolute ms") << ", threshold "
+       << threshold << "%"
+       << (warn_then_fail ? ", warn-then-fail" : "") << ")\n\n"
+       << pghive::tools::MarkdownTable(rows, threshold, mode,
+                                       warn_then_fail ? &prior : nullptr);
   }
 
-  if (pghive::tools::AnyRegression(rows, threshold)) {
-    std::fprintf(stderr, "FAIL: regression past %.1f%% threshold\n",
-                 threshold);
+  if (!failures.empty()) {
+    std::fprintf(stderr, "FAIL: regression past %.1f%% threshold%s:\n",
+                 threshold,
+                 warn_then_fail ? " in two consecutive runs" : "");
+    for (const auto& name : failures) {
+      std::fprintf(stderr, "  %s\n", name.c_str());
+    }
     return 1;
   }
-  std::printf("OK: no entry slower than %.1f%% over baseline\n", threshold);
+  for (const auto& name : regressed) {
+    std::fprintf(stderr,
+                 "WARN: %s tripped the %.1f%% threshold (first run; gate "
+                 "fails if it trips again)\n",
+                 name.c_str(), threshold);
+  }
+  std::printf("OK: gate passed (%zu warning%s)\n", regressed.size(),
+              regressed.size() == 1 ? "" : "s");
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "tools/bench_diff_lib.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -222,10 +223,11 @@ bool ExtractSweepStages(const JsonValue& root, std::vector<BenchEntry>* out,
         *error = "result entry missing 'threads' or 'ms'";
         return false;
       }
+      const JsonValue* speedup = result.Get("speedup");
       out->push_back(
           {name->string + "/threads=" +
                std::to_string(static_cast<long long>(threads->number)),
-           ms->number});
+           ms->number, speedup == nullptr ? 0.0 : speedup->number});
     }
   }
   return true;
@@ -281,47 +283,96 @@ std::vector<BenchEntry> ParseBenchJson(const std::string& text,
 
 std::vector<DiffRow> DiffEntries(const std::vector<BenchEntry>& baseline,
                                  const std::vector<BenchEntry>& current) {
-  std::unordered_map<std::string, double> current_ms;
-  current_ms.reserve(current.size());
-  for (const BenchEntry& entry : current) current_ms[entry.name] = entry.ms;
+  std::unordered_map<std::string, const BenchEntry*> current_by_name;
+  current_by_name.reserve(current.size());
+  for (const BenchEntry& entry : current) current_by_name[entry.name] = &entry;
   std::vector<DiffRow> rows;
   for (const BenchEntry& base : baseline) {
-    auto it = current_ms.find(base.name);
-    if (it == current_ms.end()) continue;
+    auto it = current_by_name.find(base.name);
+    if (it == current_by_name.end()) continue;
+    const BenchEntry& cur = *it->second;
     DiffRow row;
     row.name = base.name;
     row.base_ms = base.ms;
-    row.cur_ms = it->second;
-    row.delta_pct =
-        base.ms > 0 ? (it->second - base.ms) / base.ms * 100.0 : 0.0;
+    row.cur_ms = cur.ms;
+    row.delta_pct = base.ms > 0 ? (cur.ms - base.ms) / base.ms * 100.0 : 0.0;
+    if (base.speedup > 0 && cur.speedup > 0) {
+      row.base_speedup = base.speedup;
+      row.cur_speedup = cur.speedup;
+      row.speedup_drop_pct =
+          (base.speedup - cur.speedup) / base.speedup * 100.0;
+    }
     rows.push_back(std::move(row));
   }
   return rows;
 }
 
-bool IsRegression(const DiffRow& row, double threshold_pct) {
+bool IsRegression(const DiffRow& row, double threshold_pct, GateMode mode) {
+  if (mode == GateMode::kSpeedupRatio) {
+    return row.base_speedup > 0 && row.speedup_drop_pct > threshold_pct;
+  }
   return row.base_ms > 0 && row.delta_pct > threshold_pct;
 }
 
-bool AnyRegression(const std::vector<DiffRow>& rows, double threshold_pct) {
+bool AnyRegression(const std::vector<DiffRow>& rows, double threshold_pct,
+                   GateMode mode) {
   for (const DiffRow& row : rows) {
-    if (IsRegression(row, threshold_pct)) return true;
+    if (IsRegression(row, threshold_pct, mode)) return true;
   }
   return false;
 }
 
+std::vector<std::string> RegressedNames(const std::vector<DiffRow>& rows,
+                                        double threshold_pct, GateMode mode) {
+  std::vector<std::string> names;
+  for (const DiffRow& row : rows) {
+    if (IsRegression(row, threshold_pct, mode)) names.push_back(row.name);
+  }
+  return names;
+}
+
+std::vector<std::string> ConsecutiveRegressions(
+    const std::vector<std::string>& regressed_now,
+    const std::vector<std::string>& prior) {
+  std::vector<std::string> failures;
+  for (const std::string& name : regressed_now) {
+    if (std::find(prior.begin(), prior.end(), name) != prior.end()) {
+      failures.push_back(name);
+    }
+  }
+  return failures;
+}
+
 std::string MarkdownTable(const std::vector<DiffRow>& rows,
-                          double threshold_pct) {
+                          double threshold_pct, GateMode mode,
+                          const std::vector<std::string>* prior) {
   std::string out =
-      "| benchmark | baseline (ms) | current (ms) | delta | status |\n"
-      "|---|---:|---:|---:|:---|\n";
+      mode == GateMode::kSpeedupRatio
+          ? "| benchmark | baseline speedup | current speedup | drop "
+            "| status |\n|---|---:|---:|---:|:---|\n"
+          : "| benchmark | baseline (ms) | current (ms) | delta "
+            "| status |\n|---|---:|---:|---:|:---|\n";
   char buf[96];
   for (const DiffRow& row : rows) {
-    bool regressed = IsRegression(row, threshold_pct);
-    std::snprintf(buf, sizeof(buf), " | %.3f | %.3f | %+.1f%% | ",
-                  row.base_ms, row.cur_ms, row.delta_pct);
-    out += "| " + row.name + buf + (regressed ? "❌ regression" : "✅ ok") +
-           " |\n";
+    if (mode == GateMode::kSpeedupRatio) {
+      std::snprintf(buf, sizeof(buf), " | %.2fx | %.2fx | %+.1f%% | ",
+                    row.base_speedup, row.cur_speedup, row.speedup_drop_pct);
+    } else {
+      std::snprintf(buf, sizeof(buf), " | %.3f | %.3f | %+.1f%% | ",
+                    row.base_ms, row.cur_ms, row.delta_pct);
+    }
+    const char* status = "✅ ok";
+    if (IsRegression(row, threshold_pct, mode)) {
+      if (prior == nullptr) {
+        status = "❌ regression";
+      } else if (std::find(prior->begin(), prior->end(), row.name) !=
+                 prior->end()) {
+        status = "❌ regression (2nd consecutive run)";
+      } else {
+        status = "⚠️ warn (first trip)";
+      }
+    }
+    out += "| " + row.name + buf + status + " |\n";
   }
   if (rows.empty()) out += "| _no comparable entries_ | | | | |\n";
   return out;
