@@ -1,0 +1,90 @@
+#include "core/batch_pipeline.h"
+
+#include <exception>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "util/channel.h"
+#include "util/timer.h"
+
+namespace pghive::core {
+
+BatchPipeline::BatchPipeline(PgHive* hive, size_t depth) : hive_(hive) {
+  PGHIVE_CHECK(hive_ != nullptr);
+  depth_ = depth == 0 ? hive_->options().pipeline_depth : depth;
+  if (depth_ == 0) depth_ = 1;
+}
+
+util::Status BatchPipeline::Run(const std::vector<pg::GraphBatch>& batches) {
+  batch_stats_.clear();
+  batch_stats_.reserve(batches.size());
+  util::Timer wall;
+  // Overlap needs a pool (the preprocess thread alone would just time-slice
+  // a single core's serial schedule) and at least two batches.
+  util::Status status = (depth_ > 1 && hive_->pool() != nullptr &&
+                         batches.size() > 1)
+                            ? RunOverlapped(batches)
+                            : RunSequential(batches);
+  wall_ms_ = wall.ElapsedMillis();
+  return status;
+}
+
+util::Status BatchPipeline::RunSequential(
+    const std::vector<pg::GraphBatch>& batches) {
+  for (const pg::GraphBatch& batch : batches) {
+    util::Status status = hive_->ProcessBatch(batch);
+    if (!status.ok()) return status;
+    batch_stats_.push_back(hive_->last_stats());
+  }
+  return util::Status::Ok();
+}
+
+util::Status BatchPipeline::RunOverlapped(
+    const std::vector<pg::GraphBatch>& batches) {
+  // The handoff window: outside the coordinator's one batch in flight, at
+  // most depth-1 prepared batches exist at any instant (being built or
+  // buffered — WaitNotFull reserves the slot *before* the build starts),
+  // so depth bounds the batches in flight and hence the feature-matrix
+  // memory the pipeline holds at once.
+  util::BoundedChannel<PgHive::PreparedBatch> channel(depth_ - 1);
+  std::exception_ptr preprocess_error;
+
+  // A dedicated thread, NOT ThreadPool::Submit: pool tasks must never block
+  // on other pool work (a coordinator-side ParallelFor could otherwise pop
+  // the whole producer and deadlock on the bounded channel it then cannot
+  // drain). The thread still fans its inner loops out on the pool.
+  std::thread preprocess([&] {
+    try {
+      for (const pg::GraphBatch& batch : batches) {
+        if (!channel.WaitNotFull()) return;  // Consumer stopped.
+        PgHive::PreparedBatch prepared = hive_->PreprocessBatch(batch);
+        if (!channel.Push(std::move(prepared))) return;  // Consumer stopped.
+      }
+    } catch (...) {
+      preprocess_error = std::current_exception();
+    }
+    channel.Close();
+  });
+
+  util::Status status = util::Status::Ok();
+  try {
+    for (size_t i = 0; i < batches.size(); ++i) {
+      std::optional<PgHive::PreparedBatch> prepared = channel.Pop();
+      if (!prepared.has_value()) break;  // Preprocess thread failed.
+      status = hive_->ProcessPrepared(std::move(*prepared));
+      if (!status.ok()) break;
+      batch_stats_.push_back(hive_->last_stats());
+    }
+  } catch (...) {
+    channel.Close();  // Unblock a Push so the thread can exit.
+    preprocess.join();
+    throw;
+  }
+  channel.Close();
+  preprocess.join();
+  if (preprocess_error != nullptr) std::rethrow_exception(preprocess_error);
+  return status;
+}
+
+}  // namespace pghive::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <future>
+#include <utility>
 
 #include "core/cardinality.h"
 #include "core/constraints.h"
@@ -121,43 +122,69 @@ lsh::ClusterSet PgHive::ClusterEdges(const pg::GraphBatch& batch,
   return hasher.Cluster(sets, pool_.get());
 }
 
-util::Status PgHive::ProcessBatch(const pg::GraphBatch& batch) {
-  last_stats_ = PipelineStats{};
+util::Status PgHive::ProcessBatch(pg::GraphBatch batch) {
+  return ProcessPrepared(PreprocessBatch(std::move(batch)));
+}
+
+PgHive::PreparedBatch PgHive::PreprocessBatch(pg::GraphBatch batch) {
   util::Timer timer;
+  PreparedBatch prepared;
+  prepared.batch = std::move(batch);
+  const pg::GraphBatch& b = prepared.batch;
 
   // (b) Preprocess: train/refresh the label embedding on this batch, then
-  // build representation vectors.
+  // build representation vectors. Everything that advances cross-batch state
+  // happens here, in a fixed order: the corpus build and the vectorizer's
+  // intern pre-passes assign label-set token ids, and Train continues the
+  // incremental Word2Vec model — so as long as batches preprocess in order,
+  // ids and weights are identical whether or not later stages overlap.
   if (word2vec_ != nullptr) {
-    embed::LabelCorpus corpus = embed::BuildLabelCorpus(*graph_, batch);
+    embed::LabelCorpus corpus = embed::BuildLabelCorpus(*graph_, b);
     word2vec_->Train(corpus, pool_.get());
   }
-  Vectorizer vectorizer(graph_, embedder_.get(), pool_.get());
-  FeatureMatrix node_features = vectorizer.NodeFeatures(batch);
-  FeatureMatrix edge_features = vectorizer.EdgeFeatures(batch);
-  last_stats_.preprocess_ms = timer.ElapsedMillis();
+  prepared.vectorizer =
+      std::make_unique<Vectorizer>(graph_, embedder_.get(), pool_.get());
+  prepared.node_features = prepared.vectorizer->NodeFeatures(b);
+  prepared.edge_features = prepared.vectorizer->EdgeFeatures(b);
+  // The feature matrices snapshot the embedder, and the vectorizer's
+  // intern pre-passes (inside NodeFeatures/EdgeFeatures) snapshot the
+  // vocabulary into its token caches: after this point nothing downstream
+  // of this batch reads either, so the next batch is free to mutate both.
+  prepared.preprocess_ms = timer.ElapsedMillis();
+  return prepared;
+}
+
+util::Status PgHive::ProcessPrepared(PreparedBatch prepared) {
+  last_stats_ = PipelineStats{};
+  last_stats_.preprocess_ms = prepared.preprocess_ms;
+  const pg::GraphBatch& batch = prepared.batch;
+  Vectorizer& vectorizer = *prepared.vectorizer;
+  util::Timer timer;
 
   // (c) LSH clustering + candidate build. The node and edge tracks are
   // independent: they write disjoint stats fields and share the graph and
-  // vocabulary read-only — the vectorizer above already interned every
-  // label-set token of the batch (including edge endpoint tokens), so the
-  // tracks run concurrently when a pool is available. Each track's inner
+  // the prepared batch read-only — the vectorizer's pre-pass already cached
+  // every label-set token of the batch (including edge endpoint tokens), so
+  // the tracks run concurrently when a pool is available. Each track's inner
   // loops also fan out on the pool (nested sections flatten into its queue).
-  timer.Reset();
   lsh::ClusterSet node_clusters;
   lsh::ClusterSet edge_clusters;
   std::vector<CandidateType> node_candidates;
   std::vector<CandidateType> edge_candidates;
   auto node_track = [&] {
     if (batch.node_ids.empty()) return;
-    node_clusters = ClusterNodes(batch, node_features, &vectorizer);
+    node_clusters = ClusterNodes(batch, prepared.node_features, &vectorizer);
     last_stats_.node_clusters = node_clusters.num_clusters();
     node_candidates = BuildNodeCandidates(*graph_, batch, node_clusters);
   };
   auto edge_track = [&] {
     if (batch.edge_ids.empty()) return;
-    edge_clusters = ClusterEdges(batch, edge_features, &vectorizer);
+    edge_clusters = ClusterEdges(batch, prepared.edge_features, &vectorizer);
     last_stats_.edge_clusters = edge_clusters.num_clusters();
-    edge_candidates = BuildEdgeCandidates(*graph_, batch, edge_clusters);
+    // EdgeEndpointTokens is a pure read of the cache EdgeFeatures warmed in
+    // PreprocessBatch — no vocabulary access on this side of the overlap.
+    edge_candidates = BuildEdgeCandidates(*graph_, batch, edge_clusters,
+                                          vectorizer.EdgeEndpointTokens(batch));
   };
   if (pool_ != nullptr) {
     std::future<void> edges_done = pool_->Submit(edge_track);
@@ -220,8 +247,7 @@ util::Status PgHive::Finish() {
 }
 
 util::Status PgHive::Run() {
-  pg::GraphBatch batch = pg::FullBatch(*graph_);
-  util::Status status = ProcessBatch(batch);
+  util::Status status = ProcessBatch(pg::FullBatch(*graph_));
   if (!status.ok()) return status;
   return Finish();
 }

@@ -2,12 +2,14 @@
 #define PGHIVE_CORE_PGHIVE_H_
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/adaptive.h"
 #include "core/datatype_inference.h"
 #include "core/schema.h"
 #include "core/type_extraction.h"
+#include "core/vectorizer.h"
 #include "embed/word2vec.h"
 #include "lsh/clustering.h"
 #include "pg/batch.h"
@@ -60,6 +62,17 @@ struct PgHiveOptions {
   /// all RNG seeds are pre-split per shard.
   size_t num_threads = 0;
 
+  /// Cross-batch pipelining for incremental ingest (BatchPipeline): how many
+  /// batches may be in flight at once. 1 = today's strictly sequential
+  /// ProcessBatch loop; depth k lets batch i+1's preprocess (corpus build,
+  /// embedding training, vectorization — the stages that advance the
+  /// vocabulary and Word2Vec state, always in batch order) run while batch i
+  /// is still clustering/extracting on the coordinator, with up to k-1
+  /// prepared batches buffered ahead. The discovered schema is byte-identical
+  /// at every depth; depths > 1 only take effect when a thread pool exists
+  /// (num_threads != 1).
+  size_t pipeline_depth = 1;
+
   uint64_t seed = 42;
 };
 
@@ -99,8 +112,46 @@ class PgHive {
   util::Status Run();
 
   /// Incremental mode (§4.6): vectorize + cluster the batch, merge the
-  /// extracted candidate types into the running schema.
-  util::Status ProcessBatch(const pg::GraphBatch& batch);
+  /// extracted candidate types into the running schema. Equivalent to
+  /// ProcessPrepared(PreprocessBatch(batch)). Taken by value because the
+  /// prepared batch owns its id lists (a pipeline requirement); move in to
+  /// skip the copy.
+  util::Status ProcessBatch(pg::GraphBatch batch);
+
+  /// The output of the preprocess stage, ready for cluster + extract. Owns
+  /// everything the later stages need (feature matrices, the vectorizer
+  /// with its warmed token caches — including the edge endpoint tokens the
+  /// candidate builder reads), so ProcessPrepared never touches the
+  /// vocabulary or the embedder — the two pieces of state the *next*
+  /// batch's PreprocessBatch mutates.
+  struct PreparedBatch {
+    pg::GraphBatch batch;
+    std::unique_ptr<Vectorizer> vectorizer;
+    FeatureMatrix node_features;
+    FeatureMatrix edge_features;
+    double preprocess_ms = 0;  ///< Wall time of the preprocess stage.
+  };
+
+  /// Stage (b) of Algorithm 1 on its own: trains/refreshes the label
+  /// embedding on the batch and builds its representation vectors.
+  ///
+  /// Sequencing contract: this is the only stage that mutates cross-batch
+  /// state (label-set token interning and the incremental Word2Vec model),
+  /// so calls must happen in batch order and never concurrently with each
+  /// other. They MAY overlap a previous batch's ProcessPrepared — that pair
+  /// shares only the read-only graph and the thread pool, which is exactly
+  /// the overlap BatchPipeline exploits.
+  ///
+  /// By value for the same reason as ProcessBatch: the returned
+  /// PreparedBatch owns the id lists so it can outlive the caller's loop
+  /// iteration (the pipeline hands it to another thread).
+  PreparedBatch PreprocessBatch(pg::GraphBatch batch);
+
+  /// Stages (c)-(g): LSH clustering, candidate build, Algorithm 2 merge into
+  /// the running schema, and optional per-batch post-processing. Must be
+  /// called in batch order (the schema merge is order-defined); reads no
+  /// vocabulary or embedder state.
+  util::Status ProcessPrepared(PreparedBatch prepared);
 
   /// Runs the post-processing passes (constraints, data types,
   /// cardinalities) on the current schema.

@@ -265,10 +265,12 @@ std::vector<CandidateType> BuildNodeCandidates(
 }
 
 std::vector<CandidateType> BuildEdgeCandidates(
-    pg::PropertyGraph& graph, const pg::GraphBatch& batch,
-    const lsh::ClusterSet& clusters) {
+    const pg::PropertyGraph& graph, const pg::GraphBatch& batch,
+    const lsh::ClusterSet& clusters,
+    const std::vector<std::pair<pg::LabelSetToken, pg::LabelSetToken>>&
+        endpoint_tokens) {
   PGHIVE_CHECK(clusters.num_items() == batch.edge_ids.size());
-  pg::Vocabulary& vocab = graph.vocab();
+  PGHIVE_CHECK(endpoint_tokens.size() == batch.edge_ids.size());
   std::vector<CandidateType> candidates(clusters.num_clusters());
   std::vector<std::map<pg::PropKeyId, size_t>> counts(clusters.num_clusters());
   for (size_t i = 0; i < batch.edge_ids.size(); ++i) {
@@ -283,8 +285,7 @@ std::vector<CandidateType> BuildEdgeCandidates(
     ++cand.instance_count;
     const auto& src_labels = graph.node(e.src).labels;
     const auto& dst_labels = graph.node(e.dst).labels;
-    cand.endpoints.emplace_back(vocab.TokenForLabelSet(src_labels),
-                                vocab.TokenForLabelSet(dst_labels));
+    cand.endpoints.push_back(endpoint_tokens[i]);
     EdgePattern pattern{e.labels, keys, src_labels, dst_labels};
     cand.pattern_hashes.push_back(pattern.Hash());
   }
@@ -299,6 +300,21 @@ std::vector<CandidateType> BuildEdgeCandidates(
     ep.erase(std::unique(ep.begin(), ep.end()), ep.end());
   }
   return candidates;
+}
+
+std::vector<CandidateType> BuildEdgeCandidates(pg::PropertyGraph& graph,
+                                               const pg::GraphBatch& batch,
+                                               const lsh::ClusterSet& clusters) {
+  pg::Vocabulary& vocab = graph.vocab();
+  std::vector<std::pair<pg::LabelSetToken, pg::LabelSetToken>> endpoint_tokens;
+  endpoint_tokens.reserve(batch.edge_ids.size());
+  for (pg::EdgeId eid : batch.edge_ids) {
+    const pg::Edge& e = graph.edge(eid);
+    endpoint_tokens.emplace_back(
+        vocab.TokenForLabelSet(graph.node(e.src).labels),
+        vocab.TokenForLabelSet(graph.node(e.dst).labels));
+  }
+  return BuildEdgeCandidates(graph, batch, clusters, endpoint_tokens);
 }
 
 void ExtractNodeTypes(std::vector<CandidateType> candidates,

@@ -34,6 +34,21 @@ std::vector<CandidateType> BuildNodeCandidates(const pg::PropertyGraph& graph,
                                                const lsh::ClusterSet& clusters);
 
 /// Edge version; also collects endpoint label-set token pairs.
+/// `endpoint_tokens[i]` is the (src, dst) label-set token pair of
+/// batch.edge_ids[i], precomputed by the vectorizer's intern pre-pass
+/// (Vectorizer::EdgeEndpointTokens). Taking them as input keeps this
+/// function free of vocabulary access, which is what lets the pipelined
+/// executor run it concurrently with the next batch's preprocess (the only
+/// vocabulary writer).
+std::vector<CandidateType> BuildEdgeCandidates(
+    const pg::PropertyGraph& graph, const pg::GraphBatch& batch,
+    const lsh::ClusterSet& clusters,
+    const std::vector<std::pair<pg::LabelSetToken, pg::LabelSetToken>>&
+        endpoint_tokens);
+
+/// Convenience overload for standalone (non-pipelined) callers: interns the
+/// endpoint tokens itself, so it must not run while another thread is
+/// touching the vocabulary.
 std::vector<CandidateType> BuildEdgeCandidates(pg::PropertyGraph& graph,
                                                const pg::GraphBatch& batch,
                                                const lsh::ClusterSet& clusters);

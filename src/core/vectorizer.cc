@@ -113,6 +113,15 @@ FeatureMatrix Vectorizer::EdgeFeatures(const pg::GraphBatch& batch) {
   return m;
 }
 
+std::vector<std::pair<pg::LabelSetToken, pg::LabelSetToken>>
+Vectorizer::EdgeEndpointTokens(const pg::GraphBatch& batch) {
+  const std::vector<EdgeTokens>& tokens = EdgeTokensFor(batch);
+  std::vector<std::pair<pg::LabelSetToken, pg::LabelSetToken>> out;
+  out.reserve(tokens.size());
+  for (const EdgeTokens& t : tokens) out.emplace_back(t.src, t.dst);
+  return out;
+}
+
 std::vector<std::vector<uint64_t>> Vectorizer::NodeSets(
     const pg::GraphBatch& batch) {
   const size_t num = batch.node_ids.size();

@@ -2,6 +2,7 @@
 #define PGHIVE_CORE_VECTORIZER_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "embed/embedder.h"
@@ -57,6 +58,14 @@ class Vectorizer {
   /// MinHash element sets for edges: edge token, source token, target token,
   /// plus edge property keys.
   std::vector<std::vector<uint64_t>> EdgeSets(const pg::GraphBatch& batch);
+
+  /// Per-edge (src, dst) label-set token pairs from the cached intern
+  /// pre-pass (row i corresponds to batch.edge_ids[i]). After EdgeFeatures
+  /// or EdgeSets ran on the same batch this is a pure read, which is how the
+  /// pipelined executor hands the extract stage everything it needs without
+  /// touching the vocabulary again.
+  std::vector<std::pair<pg::LabelSetToken, pg::LabelSetToken>>
+  EdgeEndpointTokens(const pg::GraphBatch& batch);
 
  private:
   struct EdgeTokens {

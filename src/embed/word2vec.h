@@ -56,6 +56,15 @@ class Word2Vec : public LabelEmbedder {
   /// accumulated updates are applied in batch order, so the trained
   /// embeddings are byte-identical for every pool size. A null (or
   /// 1-thread) pool runs the same schedule inline — the serial path.
+  ///
+  /// Sequencing contract (pipelined ingest): Train mutates the weights that
+  /// Embed reads, and successive calls chain incrementally, so callers must
+  /// serialize Train calls in batch order and must not call Embed for an
+  /// earlier batch once the next batch's Train has started.
+  /// core::BatchPipeline honors this by keeping the whole preprocess stage
+  /// (Train + vectorization) a serial chain on one thread; only the later
+  /// cluster/extract stages — which read prebuilt feature matrices, never
+  /// the model — overlap the next batch's training.
   void Train(const LabelCorpus& corpus, util::ThreadPool* pool = nullptr);
 
   size_t dim() const override { return options_.dim; }

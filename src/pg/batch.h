@@ -27,7 +27,12 @@ GraphBatch FullBatch(const PropertyGraph& graph);
 /// Randomly partitions the graph into `num_batches` batches (the paper's
 /// incremental evaluation uses 10 random batches). Every node and edge
 /// appears in exactly one batch; an edge may arrive before or after its
-/// endpoints, which the pipeline must tolerate.
+/// endpoints, which the pipeline must tolerate (both the sequential
+/// ProcessBatch loop and core::BatchPipeline do — endpoint labels resolve
+/// through the full graph the batch references, so an early edge embeds
+/// its endpoints' labels without needing their nodes to have streamed in).
+/// tests/pg/batch_properties_test.cc pins the partition/determinism
+/// invariants down over randomized shapes.
 std::vector<GraphBatch> SplitIntoBatches(const PropertyGraph& graph,
                                          size_t num_batches, uint64_t seed);
 

@@ -1,0 +1,103 @@
+#ifndef PGHIVE_UTIL_CHANNEL_H_
+#define PGHIVE_UTIL_CHANNEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace pghive::util {
+
+/// A bounded single-producer/single-consumer handoff queue: Push blocks
+/// while the channel is full, Pop blocks while it is empty, and Close wakes
+/// everyone up. Individual operations are mutex-protected, so extra threads
+/// on either side would not corrupt the queue — but the WaitNotFull
+/// reservation contract below (and with it the "at most capacity items
+/// outside the consumer" memory bound) holds only with ONE producer: two
+/// producers can both pass WaitNotFull on the same last slot and end up
+/// building capacity+1 items. The pipelined batch executor uses the channel
+/// to hand prepared batches from its single preprocess thread to the
+/// coordinator with a fixed lookahead window.
+///
+/// Ordering contract: items pop in push order, and the mutex handoff gives
+/// the consumer a happens-before edge on everything the producer wrote
+/// before Push — which is what lets the pipeline pass mutable state
+/// (vectorizer caches, feature matrices) across threads without extra
+/// synchronization.
+template <typename T>
+class BoundedChannel {
+ public:
+  /// capacity == 0 is treated as 1 (a handoff slot must exist).
+  explicit BoundedChannel(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedChannel(const BoundedChannel&) = delete;
+  BoundedChannel& operator=(const BoundedChannel&) = delete;
+
+  /// Blocks until there is room or the channel closes. Returns false (and
+  /// drops `value`) if the channel was closed — the producer's signal to
+  /// stop early.
+  bool Push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until the channel has room for a Push or is closed; returns
+  /// false iff closed. Lets a single producer reserve its slot *before*
+  /// building an expensive item, so at most `capacity` items exist outside
+  /// the consumer at any instant (a bare blocking Push would let the
+  /// producer hold one extra fully-built item while waiting). With one
+  /// producer, a Push right after a true return never blocks.
+  bool WaitNotFull() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    return !closed_;
+  }
+
+  /// Blocks until an item arrives or the channel closes. A closed channel
+  /// still drains: buffered items are delivered before nullopt.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Idempotent. Pending and future Push calls return false; Pop drains the
+  /// buffer and then returns nullopt.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace pghive::util
+
+#endif  // PGHIVE_UTIL_CHANNEL_H_

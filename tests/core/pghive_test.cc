@@ -213,6 +213,45 @@ TEST(PgHiveTest, PostProcessEachBatchFlagWorks) {
   EXPECT_TRUE(any_mandatory);
 }
 
+// The two-stage API underneath the pipelined executor: ProcessBatch is
+// exactly PreprocessBatch + ProcessPrepared, and a PreparedBatch carries
+// everything the later stages need.
+TEST(PgHiveTest, PreprocessPlusProcessPreparedEqualsProcessBatch) {
+  pg::PropertyGraph g1 = RunningExample();
+  pg::PropertyGraph g2 = RunningExample();
+  auto batches1 = pg::SplitIntoBatches(g1, 3, 77);
+  auto batches2 = pg::SplitIntoBatches(g2, 3, 77);
+
+  PgHive whole(&g1, {});
+  for (const auto& batch : batches1) {
+    ASSERT_TRUE(whole.ProcessBatch(batch).ok());
+  }
+  ASSERT_TRUE(whole.Finish().ok());
+
+  PgHive staged(&g2, {});
+  for (const auto& batch : batches2) {
+    PgHive::PreparedBatch prepared = staged.PreprocessBatch(batch);
+    EXPECT_EQ(prepared.batch.node_ids, batch.node_ids);
+    EXPECT_EQ(prepared.batch.edge_ids, batch.edge_ids);
+    ASSERT_NE(prepared.vectorizer, nullptr);
+    EXPECT_EQ(prepared.node_features.num, batch.node_ids.size());
+    EXPECT_EQ(prepared.edge_features.num, batch.edge_ids.size());
+    // The warmed cache serves the endpoint tokens the extract side reads.
+    EXPECT_EQ(prepared.vectorizer->EdgeEndpointTokens(batch).size(),
+              batch.edge_ids.size());
+    EXPECT_GE(prepared.preprocess_ms, 0.0);
+    ASSERT_TRUE(staged.ProcessPrepared(std::move(prepared)).ok());
+  }
+  ASSERT_TRUE(staged.Finish().ok());
+
+  EXPECT_EQ(staged.schema().num_node_types(),
+            whole.schema().num_node_types());
+  EXPECT_EQ(staged.schema().num_edge_types(),
+            whole.schema().num_edge_types());
+  EXPECT_EQ(staged.NodeAssignment(), whole.NodeAssignment());
+  EXPECT_EQ(staged.EdgeAssignment(), whole.EdgeAssignment());
+}
+
 TEST(PgHiveTest, DeterministicAcrossRuns) {
   pg::PropertyGraph g1 = RunningExample();
   pg::PropertyGraph g2 = RunningExample();

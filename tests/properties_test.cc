@@ -8,6 +8,7 @@
 #include <map>
 #include <set>
 
+#include "core/batch_pipeline.h"
 #include "core/constraints.h"
 #include "core/pghive.h"
 #include "core/serialize.h"
@@ -170,6 +171,39 @@ TEST_P(RandomGraphTest, BatchOrderInvariantCoverage) {
     return std::make_pair(labels, keys);
   };
   EXPECT_EQ(coverage(static_run.schema()), coverage(incremental.schema()));
+}
+
+// Pipelined ingest == sequential ingest, byte for byte, on randomized
+// graphs and randomized splits (which routinely deliver an edge before its
+// endpoints — the stream shape §4.6 requires the pipeline to tolerate).
+TEST_P(RandomGraphTest, PipelinedIngestMatchesSequentialOnRandomSplits) {
+  pg::PropertyGraph g1 = RandomGraph(GetParam() ^ 0x7777, 110, 130);
+  pg::PropertyGraph g2 = RandomGraph(GetParam() ^ 0x7777, 110, 130);
+  core::PgHiveOptions sequential_options;
+  sequential_options.num_threads = 1;
+
+  core::PgHive sequential(&g1, sequential_options);
+  auto batches1 = pg::SplitIntoBatches(g1, 5, GetParam() ^ 0x3333);
+  for (const auto& batch : batches1) {
+    ASSERT_TRUE(sequential.ProcessBatch(batch).ok());
+  }
+  ASSERT_TRUE(sequential.Finish().ok());
+
+  core::PgHiveOptions pipelined_options;
+  pipelined_options.num_threads = 4;
+  pipelined_options.pipeline_depth = 3;
+  core::PgHive pipelined(&g2, pipelined_options);
+  core::BatchPipeline executor(&pipelined);
+  auto batches2 = pg::SplitIntoBatches(g2, 5, GetParam() ^ 0x3333);
+  ASSERT_TRUE(executor.Run(batches2).ok());
+  ASSERT_TRUE(pipelined.Finish().ok());
+
+  EXPECT_EQ(core::SerializePgSchema(pipelined.schema(), g2.vocab(),
+                                    core::SchemaMode::kStrict),
+            core::SerializePgSchema(sequential.schema(), g1.vocab(),
+                                    core::SchemaMode::kStrict));
+  EXPECT_EQ(pipelined.NodeAssignment(), sequential.NodeAssignment());
+  EXPECT_EQ(pipelined.EdgeAssignment(), sequential.EdgeAssignment());
 }
 
 // Serialization is deterministic and parse-stable across repeated export.

@@ -3,8 +3,11 @@
 // Subcommands:
 //   discover  --graph FILE [--method elsh|minhash] [--batches N]
 //             [--out PREFIX] [--loose] [--sample-datatypes] [--threads N]
+//             [--pipeline-depth D]
 //       --threads 0 (default) uses every hardware thread; --threads 1 runs
-//       serially. The discovered schema is identical for every value.
+//       serially. --pipeline-depth D (default 1) overlaps batch i+1's
+//       preprocess with batch i's extract during multi-batch ingest; the
+//       discovered schema is identical for every threads/depth combination.
 //       Discovers the schema of a graph file (pg::SaveGraphFile format) and
 //       prints it; with --out also writes PREFIX.pgs and PREFIX.xsd.
 //   import    --nodes FILE[,FILE...] --edges FILE[,FILE...] --out GRAPH
@@ -25,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "core/batch_pipeline.h"
 #include "core/pghive.h"
 #include "core/pgschema_parser.h"
 #include "core/serialize.h"
@@ -88,6 +92,24 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+/// Strict integer option parsing: the whole value must be a base-10 integer
+/// in [min, max]. Returns false on garbage instead of silently falling back
+/// (an ignored typo in --batches or --pipeline-depth would quietly change
+/// what gets measured).
+bool ParseIntOption(const Args& args, const std::string& key, long long min,
+                    long long max, long long* out) {
+  if (!args.Has(key)) return true;
+  const std::string value = args.Get(key);
+  char* end = nullptr;
+  long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || end == value.c_str() || *end != '\0' || parsed < min ||
+      parsed > max) {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
 int CmdDiscover(const Args& args) {
   if (!args.Has("graph")) return Fail("discover needs --graph FILE");
   auto loaded = pg::LoadGraphFile(args.Get("graph"));
@@ -103,30 +125,44 @@ int CmdDiscover(const Args& args) {
   if (args.Has("sample-datatypes")) {
     options.datatype_options.sample = true;
   }
-  if (args.Has("threads")) {
-    const std::string value = args.Get("threads", "0");
-    char* end = nullptr;
-    long long threads = std::strtoll(value.c_str(), &end, 10);
-    if (end == value.c_str() || *end != '\0' || threads < 0 ||
-        threads > 4096) {
-      return Fail("--threads must be an integer in [0, 4096] "
-                  "(0 = hardware threads)");
-    }
-    options.num_threads = static_cast<size_t>(threads);
+  long long threads = 0;
+  if (!ParseIntOption(args, "threads", 0, 4096, &threads)) {
+    return Fail("--threads must be an integer in [0, 4096] "
+                "(0 = hardware threads)");
+  }
+  options.num_threads = static_cast<size_t>(threads);
+  long long depth = 1;
+  if (!ParseIntOption(args, "pipeline-depth", 1, 64, &depth)) {
+    return Fail("--pipeline-depth must be an integer in [1, 64] "
+                "(1 = sequential ingest; higher overlaps the next batch's "
+                "preprocess with the current batch's extract)");
+  }
+  options.pipeline_depth = static_cast<size_t>(depth);
+  long long num_batches = 1;
+  if (!ParseIntOption(args, "batches", 1, 1000000, &num_batches)) {
+    return Fail("--batches must be an integer in [1, 1000000]");
   }
   core::PgHive pipeline(&graph, options);
-  size_t batches = std::max(1, std::atoi(args.Get("batches", "1").c_str()));
-  if (batches <= 1) {
+  if (num_batches <= 1) {
+    if (depth > 1) {
+      std::fprintf(stderr,
+                   "pghive: warning: --pipeline-depth %lld has no effect "
+                   "without --batches > 1 (single-batch discovery has "
+                   "nothing to overlap)\n",
+                   depth);
+    }
     auto status = pipeline.Run();
     if (!status.ok()) return Fail(status.ToString());
   } else {
-    for (const auto& batch :
-         pg::SplitIntoBatches(graph, batches, /*seed=*/1)) {
-      auto status = pipeline.ProcessBatch(batch);
-      if (!status.ok()) return Fail(status.ToString());
-    }
-    auto status = pipeline.Finish();
+    std::vector<pg::GraphBatch> batches = pg::SplitIntoBatches(
+        graph, static_cast<size_t>(num_batches), /*seed=*/1);
+    core::BatchPipeline executor(&pipeline);
+    auto status = executor.Run(batches);
     if (!status.ok()) return Fail(status.ToString());
+    status = pipeline.Finish();
+    if (!status.ok()) return Fail(status.ToString());
+    std::printf("ingested %zu batches (pipeline depth %zu) in %.1f ms\n",
+                batches.size(), executor.depth(), executor.wall_ms());
   }
 
   std::printf("%s", core::DescribeSchema(pipeline.schema(), graph.vocab())
@@ -228,7 +264,7 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "usage: pghive <discover|import|generate|validate> [options]\n"
                "  discover --graph FILE [--method elsh|minhash] [--batches N]"
-               " [--out PREFIX] [--loose] [--threads N]\n"
+               " [--out PREFIX] [--loose] [--threads N] [--pipeline-depth D]\n"
                "  import   --nodes a.csv,b.csv --edges rels.csv --out g.pg\n"
                "  generate --dataset POLE [--scale 1.0] [--seed 42] --out g.pg\n"
                "  validate --graph g.pg --schema s.pgs [--strict]\n");
