@@ -59,7 +59,6 @@ lsh::ClusterSet PgHive::ClusterNodes(const pg::GraphBatch& batch,
     return hasher.Cluster(features.data, features.num, pool_.get());
   }
   // MinHash path clusters the element sets.
-  auto sets = vectorizer->NodeSets(batch);
   AdaptiveChoice choice;
   if (options_.adaptive) {
     AdaptiveOptions aopts;
@@ -76,7 +75,13 @@ lsh::ClusterSet PgHive::ClusterNodes(const pg::GraphBatch& batch,
   params.seed = options_.seed ^ 0x517;
   params.amplification = options_.amplification;
   lsh::MinHashLsh hasher(params);
-  return hasher.Cluster(sets, pool_.get());
+  if (options_.columnar) {
+    ElementSetCsr csr = vectorizer->NodeSetSpans(batch);
+    return hasher.Cluster(
+        lsh::SetSpans{csr.elements.data(), csr.offsets.data(), csr.num()},
+        pool_.get());
+  }
+  return hasher.Cluster(vectorizer->NodeSets(batch), pool_.get());
 }
 
 lsh::ClusterSet PgHive::ClusterEdges(const pg::GraphBatch& batch,
@@ -102,7 +107,6 @@ lsh::ClusterSet PgHive::ClusterEdges(const pg::GraphBatch& batch,
     lsh::EuclideanLsh hasher(features.dim, params);
     return hasher.Cluster(features.data, features.num, pool_.get());
   }
-  auto sets = vectorizer->EdgeSets(batch);
   AdaptiveChoice choice;
   if (options_.adaptive) {
     AdaptiveOptions aopts;
@@ -119,7 +123,13 @@ lsh::ClusterSet PgHive::ClusterEdges(const pg::GraphBatch& batch,
   params.seed = options_.seed ^ 0x527;
   params.amplification = options_.amplification;
   lsh::MinHashLsh hasher(params);
-  return hasher.Cluster(sets, pool_.get());
+  if (options_.columnar) {
+    ElementSetCsr csr = vectorizer->EdgeSetSpans(batch);
+    return hasher.Cluster(
+        lsh::SetSpans{csr.elements.data(), csr.offsets.data(), csr.num()},
+        pool_.get());
+  }
+  return hasher.Cluster(vectorizer->EdgeSets(batch), pool_.get());
 }
 
 util::Status PgHive::ProcessBatch(pg::GraphBatch batch) {
@@ -135,15 +145,27 @@ PgHive::PreparedBatch PgHive::PreprocessBatch(pg::GraphBatch batch) {
   // (b) Preprocess: train/refresh the label embedding on this batch, then
   // build representation vectors. Everything that advances cross-batch state
   // happens here, in a fixed order: the corpus build and the vectorizer's
-  // intern pre-passes assign label-set token ids, and Train continues the
-  // incremental Word2Vec model — so as long as batches preprocess in order,
-  // ids and weights are identical whether or not later stages overlap.
+  // intern pre-passes (column builds, in columnar mode) assign label-set
+  // token ids, and Train continues the incremental Word2Vec model — so as
+  // long as batches preprocess in order, ids and weights are identical
+  // whether or not later stages overlap.
+  prepared.vectorizer = std::make_unique<Vectorizer>(
+      graph_, embedder_.get(), pool_.get(), options_.columnar);
   if (word2vec_ != nullptr) {
-    embed::LabelCorpus corpus = embed::BuildLabelCorpus(*graph_, b);
+    embed::LabelCorpus corpus;
+    if (options_.columnar) {
+      // Edge columns before node columns: the edge build interns per edge in
+      // the corpus sentence order (src, edge, dst), then the node build
+      // interns the remaining (isolated-node) tokens in row order — the same
+      // first-seen token-id sequence the row-path corpus walk produces.
+      const pg::ColumnStore& edge_cols = prepared.vectorizer->EdgeColumns(b);
+      const pg::ColumnStore& node_cols = prepared.vectorizer->NodeColumns(b);
+      corpus = embed::BuildLabelCorpus(*graph_, edge_cols, node_cols);
+    } else {
+      corpus = embed::BuildLabelCorpus(*graph_, b);
+    }
     word2vec_->Train(corpus, pool_.get());
   }
-  prepared.vectorizer =
-      std::make_unique<Vectorizer>(graph_, embedder_.get(), pool_.get());
   prepared.node_features = prepared.vectorizer->NodeFeatures(b);
   prepared.edge_features = prepared.vectorizer->EdgeFeatures(b);
   // The feature matrices snapshot the embedder, and the vectorizer's

@@ -50,6 +50,14 @@ struct PgHiveOptions {
   /// Data type inference sampling (§4.4).
   DataTypeOptions datatype_options;
 
+  /// Columnar data plane: build a per-batch pg::ColumnStore in preprocess
+  /// and run the vectorize / LSH / corpus inner loops over contiguous
+  /// columns instead of per-row PropertyMap walks. The discovered schema is
+  /// byte-identical either way (the column build interns tokens in the row
+  /// path's canonical order); false keeps the row-at-a-time loops for
+  /// equivalence tests and benchmarking.
+  bool columnar = true;
+
   /// Scales the adaptive multiplier on alpha when sweeping Fig. 6's grid
   /// (1.0 = the paper's heuristic).
   double alpha_scale = 1.0;

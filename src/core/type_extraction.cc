@@ -302,21 +302,6 @@ std::vector<CandidateType> BuildEdgeCandidates(
   return candidates;
 }
 
-std::vector<CandidateType> BuildEdgeCandidates(pg::PropertyGraph& graph,
-                                               const pg::GraphBatch& batch,
-                                               const lsh::ClusterSet& clusters) {
-  pg::Vocabulary& vocab = graph.vocab();
-  std::vector<std::pair<pg::LabelSetToken, pg::LabelSetToken>> endpoint_tokens;
-  endpoint_tokens.reserve(batch.edge_ids.size());
-  for (pg::EdgeId eid : batch.edge_ids) {
-    const pg::Edge& e = graph.edge(eid);
-    endpoint_tokens.emplace_back(
-        vocab.TokenForLabelSet(graph.node(e.src).labels),
-        vocab.TokenForLabelSet(graph.node(e.dst).labels));
-  }
-  return BuildEdgeCandidates(graph, batch, clusters, endpoint_tokens);
-}
-
 void ExtractNodeTypes(std::vector<CandidateType> candidates,
                       const ExtractionOptions& options, SchemaGraph* schema) {
   ExtractTypesImpl<NodeType>(

@@ -46,13 +46,6 @@ std::vector<CandidateType> BuildEdgeCandidates(
     const std::vector<std::pair<pg::LabelSetToken, pg::LabelSetToken>>&
         endpoint_tokens);
 
-/// Convenience overload for standalone (non-pipelined) callers: interns the
-/// endpoint tokens itself, so it must not run while another thread is
-/// touching the vocabulary.
-std::vector<CandidateType> BuildEdgeCandidates(pg::PropertyGraph& graph,
-                                               const pg::GraphBatch& batch,
-                                               const lsh::ClusterSet& clusters);
-
 /// Options for Algorithm 2.
 struct ExtractionOptions {
   /// Jaccard threshold theta for merging unlabeled clusters (paper: 0.9).

@@ -24,8 +24,8 @@ uint64_t MinHashKeyElement(uint32_t key) { return kKeyTag | key; }
 
 Vectorizer::Vectorizer(pg::PropertyGraph* graph,
                        const embed::LabelEmbedder* embedder,
-                       util::ThreadPool* pool)
-    : graph_(graph), embedder_(embedder), pool_(pool) {}
+                       util::ThreadPool* pool, bool columnar)
+    : graph_(graph), embedder_(embedder), pool_(pool), columnar_(columnar) {}
 
 // The token-intern pre-passes. Interning assigns token ids in first-seen
 // order, so these must stay sequential (and in row order) to keep ids
@@ -55,14 +55,35 @@ const std::vector<Vectorizer::EdgeTokens>& Vectorizer::EdgeTokensFor(
     edge_tokens_.assign(batch.edge_ids.size(), EdgeTokens{});
     for (size_t i = 0; i < edge_tokens_.size(); ++i) {
       const pg::Edge& e = graph_->edge(batch.edge_ids[i]);
-      edge_tokens_[i].edge = vocab.TokenForLabelSet(e.labels);
+      // Intern in (src, edge, dst) order — the corpus-builder sentence order,
+      // and the order pg::ColumnStore::ForEdges uses, so token ids agree
+      // between the row and columnar paths wherever this pass interns first.
       edge_tokens_[i].src = vocab.TokenForLabelSet(graph_->node(e.src).labels);
+      edge_tokens_[i].edge = vocab.TokenForLabelSet(e.labels);
       edge_tokens_[i].dst = vocab.TokenForLabelSet(graph_->node(e.dst).labels);
     }
     edge_token_ids_ = batch.edge_ids;
     edge_tokens_valid_ = true;
   }
   return edge_tokens_;
+}
+
+const pg::ColumnStore& Vectorizer::NodeColumns(const pg::GraphBatch& batch) {
+  if (!node_cols_valid_ || node_col_ids_ != batch.node_ids) {
+    node_cols_ = pg::ColumnStore::ForNodes(*graph_, batch.node_ids);
+    node_col_ids_ = batch.node_ids;
+    node_cols_valid_ = true;
+  }
+  return node_cols_;
+}
+
+const pg::ColumnStore& Vectorizer::EdgeColumns(const pg::GraphBatch& batch) {
+  if (!edge_cols_valid_ || edge_col_ids_ != batch.edge_ids) {
+    edge_cols_ = pg::ColumnStore::ForEdges(*graph_, batch.edge_ids);
+    edge_col_ids_ = batch.edge_ids;
+    edge_cols_valid_ = true;
+  }
+  return edge_cols_;
 }
 
 FeatureMatrix Vectorizer::NodeFeatures(const pg::GraphBatch& batch) {
@@ -73,6 +94,17 @@ FeatureMatrix Vectorizer::NodeFeatures(const pg::GraphBatch& batch) {
   m.num = batch.node_ids.size();
   m.dim = d + k;
   m.data.assign(m.num * m.dim, 0.0f);
+  if (columnar_) {
+    const pg::ColumnStore& cols = NodeColumns(batch);
+    const std::vector<pg::LabelSetToken>& tokens = cols.tokens();
+    util::ParallelFor(pool_, 0, m.num, kRowGrain, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        embedder_->Embed(tokens[i], &m.data[i * m.dim]);
+      }
+      cols.FillBinaryBlock(lo, hi, k, &m.data[lo * m.dim], m.dim, d);
+    });
+    return m;
+  }
   const std::vector<pg::LabelSetToken>& tokens = NodeTokens(batch);
   const pg::PropertyGraph& graph = *graph_;
   util::ParallelFor(pool_, 0, m.num, kRowGrain, [&](size_t lo, size_t hi) {
@@ -96,6 +128,19 @@ FeatureMatrix Vectorizer::EdgeFeatures(const pg::GraphBatch& batch) {
   m.num = batch.edge_ids.size();
   m.dim = 3 * d + q;
   m.data.assign(m.num * m.dim, 0.0f);
+  if (columnar_) {
+    const pg::ColumnStore& cols = EdgeColumns(batch);
+    util::ParallelFor(pool_, 0, m.num, kRowGrain, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        float* row = &m.data[i * m.dim];
+        embedder_->Embed(cols.tokens()[i], row);
+        embedder_->Embed(cols.src_tokens()[i], row + d);
+        embedder_->Embed(cols.dst_tokens()[i], row + 2 * d);
+      }
+      cols.FillBinaryBlock(lo, hi, q, &m.data[lo * m.dim], m.dim, 3 * d);
+    });
+    return m;
+  }
   const std::vector<EdgeTokens>& tokens = EdgeTokensFor(batch);
   const pg::PropertyGraph& graph = *graph_;
   util::ParallelFor(pool_, 0, m.num, kRowGrain, [&](size_t lo, size_t hi) {
@@ -115,8 +160,16 @@ FeatureMatrix Vectorizer::EdgeFeatures(const pg::GraphBatch& batch) {
 
 std::vector<std::pair<pg::LabelSetToken, pg::LabelSetToken>>
 Vectorizer::EdgeEndpointTokens(const pg::GraphBatch& batch) {
-  const std::vector<EdgeTokens>& tokens = EdgeTokensFor(batch);
   std::vector<std::pair<pg::LabelSetToken, pg::LabelSetToken>> out;
+  if (columnar_) {
+    const pg::ColumnStore& cols = EdgeColumns(batch);
+    out.reserve(cols.num_rows());
+    for (size_t i = 0; i < cols.num_rows(); ++i) {
+      out.emplace_back(cols.src_tokens()[i], cols.dst_tokens()[i]);
+    }
+    return out;
+  }
+  const std::vector<EdgeTokens>& tokens = EdgeTokensFor(batch);
   out.reserve(tokens.size());
   for (const EdgeTokens& t : tokens) out.emplace_back(t.src, t.dst);
   return out;
@@ -170,6 +223,74 @@ std::vector<std::vector<uint64_t>> Vectorizer::EdgeSets(
     }
   });
   return sets;
+}
+
+// The columnar set producers fill one flat CSR from the column store. Push
+// order per row is (label, src, dst, keys): the tags ascend in that order
+// and key ids ascend within a row, so every row is emitted pre-sorted and
+// the per-row sort of the nested producers has nothing to do — the spans
+// equal the sorted sets element for element.
+
+ElementSetCsr Vectorizer::NodeSetSpans(const pg::GraphBatch& batch) {
+  const pg::ColumnStore& cols = NodeColumns(batch);
+  const size_t num = cols.num_rows();
+  const std::vector<uint32_t>& key_offsets = cols.key_offsets();
+  const std::vector<pg::PropKeyId>& key_ids = cols.key_ids();
+  ElementSetCsr csr;
+  csr.offsets.assign(num + 1, 0);
+  for (size_t i = 0; i < num; ++i) {
+    const uint32_t keys = key_offsets[i + 1] - key_offsets[i];
+    const uint32_t label = cols.tokens()[i] != pg::kNoToken ? 1 : 0;
+    csr.offsets[i + 1] = csr.offsets[i] + label + keys;
+  }
+  csr.elements.resize(csr.offsets[num]);
+  util::ParallelFor(pool_, 0, num, kRowGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      uint64_t* out = &csr.elements[csr.offsets[i]];
+      if (cols.tokens()[i] != pg::kNoToken) {
+        *out++ = MinHashLabelElement(cols.tokens()[i]);
+      }
+      for (uint32_t k = key_offsets[i]; k < key_offsets[i + 1]; ++k) {
+        *out++ = MinHashKeyElement(key_ids[k]);
+      }
+    }
+  });
+  return csr;
+}
+
+ElementSetCsr Vectorizer::EdgeSetSpans(const pg::GraphBatch& batch) {
+  const pg::ColumnStore& cols = EdgeColumns(batch);
+  const size_t num = cols.num_rows();
+  const std::vector<uint32_t>& key_offsets = cols.key_offsets();
+  const std::vector<pg::PropKeyId>& key_ids = cols.key_ids();
+  ElementSetCsr csr;
+  csr.offsets.assign(num + 1, 0);
+  for (size_t i = 0; i < num; ++i) {
+    const uint32_t keys = key_offsets[i + 1] - key_offsets[i];
+    const uint32_t tokens = (cols.tokens()[i] != pg::kNoToken ? 1 : 0) +
+                            (cols.src_tokens()[i] != pg::kNoToken ? 1 : 0) +
+                            (cols.dst_tokens()[i] != pg::kNoToken ? 1 : 0);
+    csr.offsets[i + 1] = csr.offsets[i] + tokens + keys;
+  }
+  csr.elements.resize(csr.offsets[num]);
+  util::ParallelFor(pool_, 0, num, kRowGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      uint64_t* out = &csr.elements[csr.offsets[i]];
+      if (cols.tokens()[i] != pg::kNoToken) {
+        *out++ = MinHashLabelElement(cols.tokens()[i]);
+      }
+      if (cols.src_tokens()[i] != pg::kNoToken) {
+        *out++ = MinHashSrcElement(cols.src_tokens()[i]);
+      }
+      if (cols.dst_tokens()[i] != pg::kNoToken) {
+        *out++ = MinHashDstElement(cols.dst_tokens()[i]);
+      }
+      for (uint32_t k = key_offsets[i]; k < key_offsets[i + 1]; ++k) {
+        *out++ = MinHashKeyElement(key_ids[k]);
+      }
+    }
+  });
+  return csr;
 }
 
 }  // namespace pghive::core

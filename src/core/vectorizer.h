@@ -7,6 +7,7 @@
 
 #include "embed/embedder.h"
 #include "pg/batch.h"
+#include "pg/column_store.h"
 #include "pg/graph.h"
 #include "util/thread_pool.h"
 
@@ -19,6 +20,16 @@ struct FeatureMatrix {
   size_t dim = 0;
 
   const float* row(size_t i) const { return &data[i * dim]; }
+};
+
+/// An owning CSR of MinHash element sets: set i's elements are
+/// elements[offsets[i] .. offsets[i+1]). The columnar producers emit this
+/// flat layout instead of vector<vector<uint64_t>>; lsh::SetSpans views it.
+struct ElementSetCsr {
+  std::vector<uint64_t> elements;
+  std::vector<uint32_t> offsets;  // num() + 1 entries; empty when num() == 0.
+
+  size_t num() const { return offsets.empty() ? 0 : offsets.size() - 1; }
 };
 
 /// Builds the hybrid representation vectors of §4.1.
@@ -39,10 +50,18 @@ struct FeatureMatrix {
 /// batch (including edge endpoint tokens) is interned once NodeFeatures and
 /// EdgeFeatures have run, which is what lets the later node/edge tracks share
 /// the vocabulary read-only.
+///
+/// In columnar mode (the default) the sweep runs over a per-batch
+/// pg::ColumnStore instead of the rows: the embed block reads the contiguous
+/// token array and the binary block is a per-column presence-bitmap sweep,
+/// with no per-row PropertyMap access in the hot loop. The column build is
+/// the sequential intern pre-pass, in the same canonical order as the row
+/// path, so features, sets and every downstream schema are byte-identical
+/// between the two modes (pinned by tests).
 class Vectorizer {
  public:
   Vectorizer(pg::PropertyGraph* graph, const embed::LabelEmbedder* embedder,
-             util::ThreadPool* pool = nullptr);
+             util::ThreadPool* pool = nullptr, bool columnar = true);
 
   /// Feature vectors for the batch's nodes (row i corresponds to
   /// batch.node_ids[i]).
@@ -58,6 +77,21 @@ class Vectorizer {
   /// MinHash element sets for edges: edge token, source token, target token,
   /// plus edge property keys.
   std::vector<std::vector<uint64_t>> EdgeSets(const pg::GraphBatch& batch);
+
+  /// Columnar MinHash element sets: one flat CSR filled from the batch's
+  /// column store. Element multisets per row equal NodeSets/EdgeSets, and
+  /// rows come out pre-sorted for free: the tag constants ascend in push
+  /// order (label < src < dst < key) and key ids ascend within a row, so the
+  /// per-row sort of the nested producers is skipped entirely.
+  ElementSetCsr NodeSetSpans(const pg::GraphBatch& batch);
+  ElementSetCsr EdgeSetSpans(const pg::GraphBatch& batch);
+
+  /// The batch's column stores (built on first use, cached per id list; the
+  /// build is the sequential token-intern pre-pass of columnar mode).
+  const pg::ColumnStore& NodeColumns(const pg::GraphBatch& batch);
+  const pg::ColumnStore& EdgeColumns(const pg::GraphBatch& batch);
+
+  bool columnar() const { return columnar_; }
 
   /// Per-edge (src, dst) label-set token pairs from the cached intern
   /// pre-pass (row i corresponds to batch.edge_ids[i]). After EdgeFeatures
@@ -84,12 +118,20 @@ class Vectorizer {
   pg::PropertyGraph* graph_;
   const embed::LabelEmbedder* embedder_;
   util::ThreadPool* pool_;
+  bool columnar_;
   std::vector<pg::NodeId> node_token_ids_;
   std::vector<pg::LabelSetToken> node_tokens_;
   bool node_tokens_valid_ = false;
   std::vector<pg::EdgeId> edge_token_ids_;
   std::vector<EdgeTokens> edge_tokens_;
   bool edge_tokens_valid_ = false;
+  // Columnar-mode caches, keyed by the batch id lists like the token caches.
+  std::vector<pg::NodeId> node_col_ids_;
+  pg::ColumnStore node_cols_;
+  bool node_cols_valid_ = false;
+  std::vector<pg::EdgeId> edge_col_ids_;
+  pg::ColumnStore edge_cols_;
+  bool edge_cols_valid_ = false;
 };
 
 /// Element-universe tags for MinHash sets (exposed for tests).

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "pg/batch.h"
+#include "pg/column_store.h"
 #include "pg/graph.h"
 
 namespace pghive::embed {
@@ -32,6 +33,15 @@ LabelCorpus BuildLabelCorpus(pg::PropertyGraph& graph);
 /// per batch on the data seen so far).
 LabelCorpus BuildLabelCorpus(pg::PropertyGraph& graph,
                              const pg::GraphBatch& batch);
+
+/// Columnar form: reads the already-interned token-id and endpoint-id
+/// columns instead of walking rows, so no vocabulary mutation happens here.
+/// Produces exactly the sentences of the row overload for the same batch
+/// (the column builder interns per edge in the same (src, edge, dst) order
+/// this builder emits).
+LabelCorpus BuildLabelCorpus(const pg::PropertyGraph& graph,
+                             const pg::ColumnStore& edge_cols,
+                             const pg::ColumnStore& node_cols);
 
 }  // namespace pghive::embed
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/status.h"
 
 namespace pghive::lsh {
@@ -26,17 +27,15 @@ EuclideanLsh::EuclideanLsh(size_t dim, EuclideanLshParams params)
 void EuclideanLsh::Hash(const float* x, uint64_t* out) const {
   for (size_t t = 0; t < params_.num_tables; ++t) {
     const float* a = &projections_[t * dim_];
-    double dot = 0.0;
-    for (size_t d = 0; d < dim_; ++d) dot += static_cast<double>(a[d]) * x[d];
+    // Fixed-tree kernel: bit-identical between the AVX2 and scalar builds.
+    const double dot = util::DotF32(a, x, dim_);
     double bucket = std::floor((dot + offsets_[t]) / params_.bucket_length);
     out[t] = static_cast<uint64_t>(static_cast<int64_t>(bucket));
   }
 }
 
-std::vector<uint64_t> EuclideanLsh::HashAll(const std::vector<float>& data,
-                                            size_t num,
+std::vector<uint64_t> EuclideanLsh::HashAll(const float* data, size_t num,
                                             util::ThreadPool* pool) const {
-  PGHIVE_CHECK(data.size() == num * dim_);
   std::vector<uint64_t> sigs(num * params_.num_tables);
   // Grain sized so one chunk is ~100k multiply-adds regardless of T*dim.
   const size_t grain =
@@ -49,13 +48,26 @@ std::vector<uint64_t> EuclideanLsh::HashAll(const std::vector<float>& data,
   return sigs;
 }
 
-ClusterSet EuclideanLsh::Cluster(const std::vector<float>& data, size_t num,
+std::vector<uint64_t> EuclideanLsh::HashAll(const std::vector<float>& data,
+                                            size_t num,
+                                            util::ThreadPool* pool) const {
+  PGHIVE_CHECK(data.size() == num * dim_);
+  return HashAll(data.data(), num, pool);
+}
+
+ClusterSet EuclideanLsh::Cluster(const float* data, size_t num,
                                  util::ThreadPool* pool) const {
   auto sigs = HashAll(data, num, pool);
   if (params_.amplification == Amplification::kAnd) {
     return ClusterBySignature(sigs, num, params_.num_tables, pool);
   }
   return ClusterByAnyCollision(sigs, num, params_.num_tables, pool);
+}
+
+ClusterSet EuclideanLsh::Cluster(const std::vector<float>& data, size_t num,
+                                 util::ThreadPool* pool) const {
+  PGHIVE_CHECK(data.size() == num * dim_);
+  return Cluster(data.data(), num, pool);
 }
 
 double EuclideanLsh::CollisionProbability(double distance,

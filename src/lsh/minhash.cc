@@ -22,22 +22,27 @@ MinHashLsh::MinHashLsh(MinHashParams params) : params_(params) {
   for (auto& s : hash_seeds_) s = rng.NextU64();
 }
 
-void MinHashLsh::Signature(const std::vector<uint64_t>& elements,
+void MinHashLsh::Signature(const uint64_t* elements, size_t count,
                            uint64_t* out) const {
   const size_t t = params_.num_hashes;
-  if (elements.empty()) {
+  if (count == 0) {
     // Unique sentinel so empty sets only collide with empty sets.
     for (size_t k = 0; k < t; ++k) out[k] = UINT64_MAX;
     return;
   }
   for (size_t k = 0; k < t; ++k) {
     uint64_t best = UINT64_MAX;
-    for (uint64_t e : elements) {
-      uint64_t h = util::Mix64(e ^ hash_seeds_[k]);
+    for (size_t e = 0; e < count; ++e) {
+      uint64_t h = util::Mix64(elements[e] ^ hash_seeds_[k]);
       if (h < best) best = h;
     }
     out[k] = best;
   }
+}
+
+void MinHashLsh::Signature(const std::vector<uint64_t>& elements,
+                           uint64_t* out) const {
+  Signature(elements.data(), elements.size(), out);
 }
 
 std::vector<uint64_t> MinHashLsh::SignatureAll(
@@ -54,11 +59,34 @@ std::vector<uint64_t> MinHashLsh::SignatureAll(
   return sigs;
 }
 
+std::vector<uint64_t> MinHashLsh::SignatureAll(const SetSpans& sets,
+                                               util::ThreadPool* pool) const {
+  const size_t t = params_.num_hashes;
+  std::vector<uint64_t> sigs(sets.num_sets * t);
+  const size_t grain = std::max<size_t>(16, 4096 / std::max<size_t>(1, t));
+  util::ParallelFor(pool, 0, sets.num_sets, grain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      Signature(sets.elements + sets.offsets[i],
+                sets.offsets[i + 1] - sets.offsets[i], &sigs[i * t]);
+    }
+  });
+  return sigs;
+}
+
 ClusterSet MinHashLsh::Cluster(const std::vector<std::vector<uint64_t>>& sets,
                                util::ThreadPool* pool) const {
+  return ClusterFromSignatures(SignatureAll(sets, pool), sets.size(), pool);
+}
+
+ClusterSet MinHashLsh::Cluster(const SetSpans& sets,
+                               util::ThreadPool* pool) const {
+  return ClusterFromSignatures(SignatureAll(sets, pool), sets.num_sets, pool);
+}
+
+ClusterSet MinHashLsh::ClusterFromSignatures(const std::vector<uint64_t>& sigs,
+                                             size_t num,
+                                             util::ThreadPool* pool) const {
   const size_t t = params_.num_hashes;
-  const size_t num = sets.size();
-  auto sigs = SignatureAll(sets, pool);
   if (params_.amplification == Amplification::kAnd) {
     return ClusterBySignature(sigs, num, t, pool);
   }

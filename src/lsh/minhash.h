@@ -20,6 +20,16 @@ struct MinHashParams {
   Amplification amplification = Amplification::kAnd;
 };
 
+/// A CSR view over many integer element sets: set i's elements are
+/// elements[offsets[i] .. offsets[i+1]) and offsets has num_sets + 1
+/// entries. The contiguous (columnar) alternative to
+/// vector<vector<uint64_t>>; the view does not own the arrays.
+struct SetSpans {
+  const uint64_t* elements = nullptr;
+  const uint32_t* offsets = nullptr;
+  size_t num_sets = 0;
+};
+
 /// Min-wise independent hashing over integer element sets. The probability
 /// that two sets share a signature slot equals their Jaccard similarity.
 class MinHashLsh {
@@ -28,14 +38,19 @@ class MinHashLsh {
 
   /// Writes the T-slot signature of `elements` (arbitrary uint64 ids).
   /// Empty sets receive a sentinel signature unique to empty sets.
+  void Signature(const uint64_t* elements, size_t count, uint64_t* out) const;
   void Signature(const std::vector<uint64_t>& elements, uint64_t* out) const;
 
   /// Signatures of many sets, row-major num x T. With a pool, the T-hash
   /// permutations of each set are computed in parallel across sets (every
   /// set writes its own signature stripe; identical at every pool size).
+  /// The SetSpans overload walks one flat element array and yields the same
+  /// signatures as the nested-vector form over equal sets.
   std::vector<uint64_t> SignatureAll(
       const std::vector<std::vector<uint64_t>>& sets,
       util::ThreadPool* pool = nullptr) const;
+  std::vector<uint64_t> SignatureAll(const SetSpans& sets,
+                                     util::ThreadPool* pool = nullptr) const;
 
   /// Clusters sets. kAnd groups identical full signatures; kOr applies
   /// banding (union-find over band collisions) which approximates a Jaccard
@@ -43,6 +58,8 @@ class MinHashLsh {
   /// (radix group-by for kAnd, concurrent per-band bucket maps + ordered
   /// union replay for kOr); output is byte-identical at every pool size.
   ClusterSet Cluster(const std::vector<std::vector<uint64_t>>& sets,
+                     util::ThreadPool* pool = nullptr) const;
+  ClusterSet Cluster(const SetSpans& sets,
                      util::ThreadPool* pool = nullptr) const;
 
   /// Monte-Carlo-free estimate of Jaccard similarity from two signatures:
@@ -56,6 +73,11 @@ class MinHashLsh {
   double BandingThreshold() const;
 
  private:
+  /// Grouping step shared by both Cluster overloads, over precomputed
+  /// num x T signatures.
+  ClusterSet ClusterFromSignatures(const std::vector<uint64_t>& sigs,
+                                   size_t num, util::ThreadPool* pool) const;
+
   MinHashParams params_;
   std::vector<uint64_t> hash_seeds_;  // One per hash function.
 };

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "datasets/generator.h"
+#include "datasets/zoo.h"
 #include "embed/hash_embedder.h"
 
 namespace pghive::core {
@@ -121,6 +123,69 @@ TEST(VectorizerTest, EdgeSetsDistinguishEndpointRoles) {
   auto sets = vectorizer.EdgeSets(pg::FullBatch(g));
   ASSERT_EQ(sets.size(), 2u);
   EXPECT_NE(sets[0], sets[1]);
+}
+
+// ---- Columnar-vs-row equivalence --------------------------------------
+//
+// The columnar sweep is an optimization of the row loops, never a semantic
+// change: identical feature bytes, identical MinHash element multisets,
+// identical endpoint tokens. Pinned on generated zoo graphs so label
+// overlap, unlabeled elements and property holes all occur.
+
+TEST(VectorizerEquivalenceTest, ColumnarFeaturesMatchRowFeaturesExactly) {
+  for (const datasets::DatasetSpec& spec :
+       {datasets::PoleSpec(), datasets::IcijSpec()}) {
+    datasets::Dataset dataset = datasets::Generate(spec, 0.05, 23);
+    embed::HashEmbedder embedder(&dataset.graph.vocab(), 8, 5);
+    pg::GraphBatch batch = pg::FullBatch(dataset.graph);
+    Vectorizer row(&dataset.graph, &embedder, nullptr, /*columnar=*/false);
+    Vectorizer col(&dataset.graph, &embedder, nullptr, /*columnar=*/true);
+    ASSERT_FALSE(row.columnar());
+    ASSERT_TRUE(col.columnar());
+    FeatureMatrix row_nodes = row.NodeFeatures(batch);
+    FeatureMatrix col_nodes = col.NodeFeatures(batch);
+    EXPECT_EQ(col_nodes.num, row_nodes.num);
+    EXPECT_EQ(col_nodes.dim, row_nodes.dim);
+    EXPECT_EQ(col_nodes.data, row_nodes.data);
+    FeatureMatrix row_edges = row.EdgeFeatures(batch);
+    FeatureMatrix col_edges = col.EdgeFeatures(batch);
+    EXPECT_EQ(col_edges.dim, row_edges.dim);
+    EXPECT_EQ(col_edges.data, row_edges.data);
+    EXPECT_EQ(col.EdgeEndpointTokens(batch), row.EdgeEndpointTokens(batch));
+  }
+}
+
+TEST(VectorizerEquivalenceTest, SetSpansMatchNestedSetsRowForRow) {
+  datasets::Dataset dataset = datasets::Generate(datasets::LdbcSpec(), 0.05, 29);
+  embed::HashEmbedder embedder(&dataset.graph.vocab(), 8, 5);
+  pg::GraphBatch batch = pg::FullBatch(dataset.graph);
+  Vectorizer row(&dataset.graph, &embedder, nullptr, /*columnar=*/false);
+  Vectorizer col(&dataset.graph, &embedder, nullptr, /*columnar=*/true);
+
+  auto check = [](const std::vector<std::vector<uint64_t>>& sets,
+                  const ElementSetCsr& csr) {
+    ASSERT_EQ(csr.num(), sets.size());
+    for (size_t i = 0; i < sets.size(); ++i) {
+      // Nested sets come out sorted; the CSR emits rows pre-sorted, so the
+      // spans must match element for element, not just as multisets.
+      std::vector<uint64_t> span(csr.elements.begin() + csr.offsets[i],
+                                 csr.elements.begin() + csr.offsets[i + 1]);
+      ASSERT_EQ(span, sets[i]) << "row " << i;
+    }
+  };
+  check(row.NodeSets(batch), col.NodeSetSpans(batch));
+  check(row.EdgeSets(batch), col.EdgeSetSpans(batch));
+}
+
+TEST(VectorizerEquivalenceTest, ColumnCachesRebuildWhenBatchChanges) {
+  Fixture f;
+  Vectorizer vectorizer(&f.graph, f.embedder.get());
+  pg::GraphBatch full = pg::FullBatch(f.graph);
+  EXPECT_EQ(vectorizer.NodeColumns(full).num_rows(), f.graph.num_nodes());
+  pg::GraphBatch partial;
+  partial.node_ids = {0};
+  EXPECT_EQ(vectorizer.NodeColumns(partial).num_rows(), 1u);
+  EXPECT_EQ(vectorizer.NodeColumns(full).num_rows(), f.graph.num_nodes());
 }
 
 TEST(MinHashElementTest, UniversesAreDisjoint) {

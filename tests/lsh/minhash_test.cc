@@ -149,7 +149,7 @@ TEST(MinHashBandingEdgeCaseTest, EmptyInput) {
   MinHashLsh hasher = BandingHasher();
   util::ThreadPool pool(4);
   for (util::ThreadPool* p : {static_cast<util::ThreadPool*>(nullptr), &pool}) {
-    auto clusters = hasher.Cluster({}, p);
+    auto clusters = hasher.Cluster(std::vector<std::vector<uint64_t>>{}, p);
     EXPECT_EQ(clusters.num_items(), 0u);
     EXPECT_EQ(clusters.num_clusters(), 0u);
   }
@@ -187,6 +187,77 @@ TEST(MinHashBandingEdgeCaseTest, SingleHashSingleRowBand) {
     EXPECT_EQ(clusters.cluster_of(0), clusters.cluster_of(1));
     EXPECT_NE(clusters.cluster_of(0), clusters.cluster_of(2));
   }
+}
+
+// ---- Flat-span (CSR) overloads -----------------------------------------
+//
+// The SetSpans entry points walk one contiguous element array instead of
+// nested vectors; signatures and clusters must be identical — including the
+// empty-set sentinel rows.
+
+SetSpans SpansOf(const std::vector<std::vector<uint64_t>>& sets,
+                 std::vector<uint64_t>* elements,
+                 std::vector<uint32_t>* offsets) {
+  elements->clear();
+  offsets->assign(1, 0);
+  for (const auto& set : sets) {
+    elements->insert(elements->end(), set.begin(), set.end());
+    offsets->push_back(static_cast<uint32_t>(elements->size()));
+  }
+  return SetSpans{elements->data(), offsets->data(), sets.size()};
+}
+
+TEST(MinHashSpanTest, SpanSignaturesMatchNestedSignatures) {
+  util::Rng rng(31);
+  std::vector<std::vector<uint64_t>> sets(257);
+  for (size_t i = 1; i < sets.size(); ++i) {  // sets[0] stays empty.
+    const size_t n = rng.NextBounded(9);
+    for (size_t e = 0; e < n; ++e) sets[i].push_back(rng.NextBounded(400));
+  }
+  MinHashParams params;
+  params.num_hashes = 16;
+  MinHashLsh hasher(params);
+  std::vector<uint64_t> elements;
+  std::vector<uint32_t> offsets;
+  SetSpans spans = SpansOf(sets, &elements, &offsets);
+  util::ThreadPool pool(4);
+  for (util::ThreadPool* p : {static_cast<util::ThreadPool*>(nullptr), &pool}) {
+    EXPECT_EQ(hasher.SignatureAll(spans, p), hasher.SignatureAll(sets, p));
+  }
+}
+
+TEST(MinHashSpanTest, SpanClusteringMatchesNestedClustering) {
+  util::Rng rng(37);
+  std::vector<std::vector<uint64_t>> sets(180);
+  for (auto& set : sets) {
+    // Few distinct shapes so real collisions happen.
+    const size_t shape = rng.NextBounded(6);
+    for (size_t e = 0; e <= shape; ++e) set.push_back(shape * 10 + e);
+  }
+  sets[17].clear();
+  sets[99].clear();
+  std::vector<uint64_t> elements;
+  std::vector<uint32_t> offsets;
+  SetSpans spans = SpansOf(sets, &elements, &offsets);
+  for (Amplification amp : {Amplification::kAnd, Amplification::kOr}) {
+    MinHashParams params;
+    params.num_hashes = 12;
+    params.rows_per_band = 3;
+    params.amplification = amp;
+    MinHashLsh hasher(params);
+    auto nested = hasher.Cluster(sets);
+    auto flat = hasher.Cluster(spans);
+    ASSERT_EQ(flat.num_items(), nested.num_items());
+    for (size_t i = 0; i < sets.size(); ++i) {
+      EXPECT_EQ(flat.cluster_of(i), nested.cluster_of(i)) << i;
+    }
+  }
+}
+
+TEST(MinHashSpanTest, EmptySpanInput) {
+  MinHashLsh hasher = BandingHasher();
+  auto clusters = hasher.Cluster(SetSpans{nullptr, nullptr, 0});
+  EXPECT_EQ(clusters.num_items(), 0u);
 }
 
 TEST(ExactJaccardTest, Basics) {

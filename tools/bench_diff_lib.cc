@@ -224,10 +224,12 @@ bool ExtractSweepStages(const JsonValue& root, std::vector<BenchEntry>* out,
         return false;
       }
       const JsonValue* speedup = result.Get("speedup");
+      const JsonValue* eps = result.Get("eps");
       out->push_back(
           {name->string + "/threads=" +
                std::to_string(static_cast<long long>(threads->number)),
-           ms->number, speedup == nullptr ? 0.0 : speedup->number});
+           ms->number, speedup == nullptr ? 0.0 : speedup->number,
+           eps == nullptr ? 0.0 : eps->number});
     }
   }
   return true;
@@ -302,6 +304,11 @@ std::vector<DiffRow> DiffEntries(const std::vector<BenchEntry>& baseline,
       row.speedup_drop_pct =
           (base.speedup - cur.speedup) / base.speedup * 100.0;
     }
+    if (base.eps > 0 && cur.eps > 0) {
+      row.base_eps = base.eps;
+      row.cur_eps = cur.eps;
+      row.eps_drop_pct = (base.eps - cur.eps) / base.eps * 100.0;
+    }
     rows.push_back(std::move(row));
   }
   return rows;
@@ -310,6 +317,9 @@ std::vector<DiffRow> DiffEntries(const std::vector<BenchEntry>& baseline,
 bool IsRegression(const DiffRow& row, double threshold_pct, GateMode mode) {
   if (mode == GateMode::kSpeedupRatio) {
     return row.base_speedup > 0 && row.speedup_drop_pct > threshold_pct;
+  }
+  if (mode == GateMode::kThroughput) {
+    return row.base_eps > 0 && row.eps_drop_pct > threshold_pct;
   }
   return row.base_ms > 0 && row.delta_pct > threshold_pct;
 }
@@ -346,17 +356,32 @@ std::vector<std::string> ConsecutiveRegressions(
 std::string MarkdownTable(const std::vector<DiffRow>& rows,
                           double threshold_pct, GateMode mode,
                           const std::vector<std::string>* prior) {
-  std::string out =
-      mode == GateMode::kSpeedupRatio
-          ? "| benchmark | baseline speedup | current speedup | drop "
-            "| status |\n|---|---:|---:|---:|:---|\n"
-          : "| benchmark | baseline (ms) | current (ms) | delta "
-            "| status |\n|---|---:|---:|---:|:---|\n";
+  std::string out;
+  switch (mode) {
+    case GateMode::kSpeedupRatio:
+      out =
+          "| benchmark | baseline speedup | current speedup | drop "
+          "| status |\n|---|---:|---:|---:|:---|\n";
+      break;
+    case GateMode::kThroughput:
+      out =
+          "| benchmark | baseline (elem/s) | current (elem/s) | drop "
+          "| status |\n|---|---:|---:|---:|:---|\n";
+      break;
+    case GateMode::kAbsoluteMs:
+      out =
+          "| benchmark | baseline (ms) | current (ms) | delta "
+          "| status |\n|---|---:|---:|---:|:---|\n";
+      break;
+  }
   char buf[96];
   for (const DiffRow& row : rows) {
     if (mode == GateMode::kSpeedupRatio) {
       std::snprintf(buf, sizeof(buf), " | %.2fx | %.2fx | %+.1f%% | ",
                     row.base_speedup, row.cur_speedup, row.speedup_drop_pct);
+    } else if (mode == GateMode::kThroughput) {
+      std::snprintf(buf, sizeof(buf), " | %.0f | %.0f | %+.1f%% | ",
+                    row.base_eps, row.cur_eps, row.eps_drop_pct);
     } else {
       std::snprintf(buf, sizeof(buf), " | %.3f | %.3f | %+.1f%% | ",
                     row.base_ms, row.cur_ms, row.delta_pct);

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Per-layer line-coverage soft gate.
+
+Reads a gcovr --json-summary artifact, aggregates line coverage per source
+layer (src/<dir>, tools, ...), renders the markdown table for the CI job
+summary, and compares each layer against the floors in
+tools/coverage_floors.json. A layer below its floor fails the gate (exit 1);
+layers without a floor are advisory, so new code starts reporting before it
+starts gating.
+
+Degrades gracefully: a missing/unreadable summary (gcovr absent or broken on
+the runner) or a missing floors file prints a warning and exits 0 — the gate
+must never turn infrastructure trouble into a red build.
+
+Usage: check_coverage.py SUMMARY.json [FLOORS.json]
+"""
+
+import collections
+import json
+import os
+import sys
+
+
+def load_json(path, label):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"> coverage gate skipped: cannot read {label} ({e})")
+        return None
+
+
+def layer_of(filename):
+    parts = filename.split("/")
+    return "/".join(parts[:2]) if parts[0] == "src" else parts[0]
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    summary = load_json(argv[1], "coverage summary")
+    if summary is None:
+        return 0
+    floors_path = argv[2] if len(argv) > 2 else os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "coverage_floors.json")
+    floors_doc = load_json(floors_path, "coverage floors")
+    floors = floors_doc.get("layers", {}) if floors_doc else {}
+
+    layers = collections.defaultdict(lambda: [0, 0])
+    for entry in summary.get("files", []):
+        layer = layer_of(entry["filename"])
+        layers[layer][0] += entry["line_covered"]
+        layers[layer][1] += entry["line_total"]
+
+    failures = []
+    print("### Line coverage by layer (soft gate)\n")
+    print("| layer | lines | covered | % | floor | status |")
+    print("|---|---:|---:|---:|---:|:---|")
+    for layer in sorted(layers):
+        covered, total = layers[layer]
+        pct = 100.0 * covered / total if total else 0.0
+        floor = floors.get(layer)
+        if floor is None:
+            status = "advisory (no floor)"
+            floor_cell = "—"
+        elif pct + 1e-9 < floor:
+            status = "❌ below floor"
+            floor_cell = f"{floor:.1f}%"
+            failures.append((layer, pct, floor))
+        else:
+            status = "✅ ok"
+            floor_cell = f"{floor:.1f}%"
+        print(f"| {layer} | {total} | {covered} | {pct:.1f}% | "
+              f"{floor_cell} | {status} |")
+    covered = sum(v[0] for v in layers.values())
+    total = sum(v[1] for v in layers.values())
+    pct = 100.0 * covered / total if total else 0.0
+    print(f"| **total** | {total} | {covered} | **{pct:.1f}%** | | |")
+
+    if failures:
+        print()
+        for layer, pct, floor in failures:
+            print(f"> ❌ {layer}: {pct:.1f}% is below its {floor:.1f}% floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

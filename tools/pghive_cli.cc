@@ -3,11 +3,13 @@
 // Subcommands:
 //   discover  --graph FILE [--method elsh|minhash] [--batches N]
 //             [--out PREFIX] [--loose] [--sample-datatypes] [--threads N]
-//             [--pipeline-depth D]
+//             [--pipeline-depth D] [--data-plane columnar|row]
 //       --threads 0 (default) uses every hardware thread; --threads 1 runs
 //       serially. --pipeline-depth D (default 1) overlaps batch i+1's
 //       preprocess with batch i's extract during multi-batch ingest; the
 //       discovered schema is identical for every threads/depth combination.
+//       --data-plane row keeps the row-at-a-time inner loops instead of the
+//       columnar ones; the schema is byte-identical either way.
 //       Discovers the schema of a graph file (pg::SaveGraphFile format) and
 //       prints it; with --out also writes PREFIX.pgs and PREFIX.xsd.
 //   import    --nodes FILE[,FILE...] --edges FILE[,FILE...] --out GRAPH
@@ -138,6 +140,12 @@ int CmdDiscover(const Args& args) {
                 "preprocess with the current batch's extract)");
   }
   options.pipeline_depth = static_cast<size_t>(depth);
+  const std::string plane = args.Get("data-plane", "columnar");
+  if (plane == "row") {
+    options.columnar = false;
+  } else if (plane != "columnar") {
+    return Fail("--data-plane must be 'columnar' or 'row'");
+  }
   long long num_batches = 1;
   if (!ParseIntOption(args, "batches", 1, 1000000, &num_batches)) {
     return Fail("--batches must be an integer in [1, 1000000]");
@@ -264,7 +272,8 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "usage: pghive <discover|import|generate|validate> [options]\n"
                "  discover --graph FILE [--method elsh|minhash] [--batches N]"
-               " [--out PREFIX] [--loose] [--threads N] [--pipeline-depth D]\n"
+               " [--out PREFIX] [--loose] [--threads N] [--pipeline-depth D]"
+               " [--data-plane columnar|row]\n"
                "  import   --nodes a.csv,b.csv --edges rels.csv --out g.pg\n"
                "  generate --dataset POLE [--scale 1.0] [--seed 42] --out g.pg\n"
                "  validate --graph g.pg --schema s.pgs [--strict]\n");
