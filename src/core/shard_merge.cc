@@ -1,0 +1,107 @@
+#include "core/shard_merge.h"
+
+#include <algorithm>
+#include <map>
+
+namespace pghive::core {
+
+namespace {
+
+// Relabels the shard's elements with their *global* cluster ids and runs
+// the regular candidate scan over the shard batch. ClusterSet tolerates the
+// sparse id space (clusters whose members all live elsewhere simply yield
+// empty candidates), so the per-member evidence-collection code is shared
+// with the unsharded path byte for byte.
+template <typename BuildFn>
+ShardCandidates BuildShardCandidates(const std::vector<uint32_t>& positions,
+                                     const lsh::ClusterSet& clusters,
+                                     BuildFn&& build) {
+  std::vector<uint32_t> local_assignment(positions.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    local_assignment[i] = clusters.cluster_of(positions[i]);
+  }
+  lsh::ClusterSet local(std::move(local_assignment));
+  ShardCandidates out;
+  out.candidates = build(local);
+  out.positions.resize(out.candidates.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    out.positions[local.cluster_of(i)].push_back(positions[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+ShardCandidates BuildNodeShardCandidates(const pg::PropertyGraph& graph,
+                                         const pg::ShardBatch& shard,
+                                         const lsh::ClusterSet& clusters) {
+  return BuildShardCandidates(
+      shard.node_positions, clusters, [&](const lsh::ClusterSet& local) {
+        return BuildNodeCandidates(graph, shard.batch, local);
+      });
+}
+
+ShardCandidates BuildEdgeShardCandidates(
+    const pg::PropertyGraph& graph, const pg::ShardBatch& shard,
+    const lsh::ClusterSet& clusters,
+    const std::vector<std::pair<pg::LabelSetToken, pg::LabelSetToken>>&
+        endpoint_tokens) {
+  return BuildShardCandidates(
+      shard.edge_positions, clusters, [&](const lsh::ClusterSet& local) {
+        return BuildEdgeCandidates(graph, shard.batch, local, endpoint_tokens);
+      });
+}
+
+std::vector<CandidateType> MergeShardCandidates(
+    std::vector<ShardCandidates> shards, size_t num_clusters) {
+  std::vector<CandidateType> merged(num_clusters);
+  std::vector<std::map<pg::PropKeyId, size_t>> counts(num_clusters);
+  // (parent-batch position, instance id) pairs; sorting by position
+  // restores the unsharded scan order. Positions are disjoint across
+  // shards, so the order is total.
+  std::vector<std::vector<std::pair<uint32_t, uint64_t>>> inst(num_clusters);
+  for (const ShardCandidates& shard : shards) {
+    for (size_t c = 0; c < shard.candidates.size(); ++c) {
+      const CandidateType& from = shard.candidates[c];
+      if (from.instances.empty() && from.instance_count == 0) continue;
+      CandidateType& into = merged[c];
+      into.labels = UnionSorted(into.labels, from.labels);
+      into.keys = UnionSorted(into.keys, from.keys);
+      for (const auto& [key, count] : from.key_counts) counts[c][key] += count;
+      into.instance_count += from.instance_count;
+      into.pattern_hashes.insert(into.pattern_hashes.end(),
+                                 from.pattern_hashes.begin(),
+                                 from.pattern_hashes.end());
+      into.endpoints.insert(into.endpoints.end(), from.endpoints.begin(),
+                            from.endpoints.end());
+      for (size_t j = 0; j < from.instances.size(); ++j) {
+        inst[c].emplace_back(shard.positions[c][j], from.instances[j]);
+      }
+    }
+  }
+  for (size_t c = 0; c < num_clusters; ++c) {
+    std::sort(inst[c].begin(), inst[c].end());
+    merged[c].instances.reserve(inst[c].size());
+    for (const auto& [pos, id] : inst[c]) merged[c].instances.push_back(id);
+    merged[c].key_counts.assign(counts[c].begin(), counts[c].end());
+    auto& ph = merged[c].pattern_hashes;
+    std::sort(ph.begin(), ph.end());
+    ph.erase(std::unique(ph.begin(), ph.end()), ph.end());
+    auto& ep = merged[c].endpoints;
+    std::sort(ep.begin(), ep.end());
+    ep.erase(std::unique(ep.begin(), ep.end()), ep.end());
+  }
+  return merged;
+}
+
+SchemaGraph MergeShardSchemas(const std::vector<SchemaGraph>& shard_schemas,
+                              const ExtractionOptions& options) {
+  if (shard_schemas.empty()) return SchemaGraph();
+  SchemaGraph merged = shard_schemas[0];
+  for (size_t s = 1; s < shard_schemas.size(); ++s) {
+    merged = MergeSchemas(merged, shard_schemas[s], options);
+  }
+  return merged;
+}
+
+}  // namespace pghive::core

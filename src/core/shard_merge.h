@@ -1,0 +1,67 @@
+#ifndef PGHIVE_CORE_SHARD_MERGE_H_
+#define PGHIVE_CORE_SHARD_MERGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/type_extraction.h"
+#include "lsh/clustering.h"
+#include "pg/graph.h"
+#include "pg/shard_plan.h"
+
+namespace pghive::core {
+
+/// One shard's candidate evidence against a *global* clustering of the
+/// parent batch. `candidates[c]` carries exactly the members of global
+/// cluster c that live in this shard (built by the regular
+/// BuildNodeCandidates / BuildEdgeCandidates scans over the shard batch,
+/// so per-member semantics can never drift from the unsharded path);
+/// `positions[c][j]` is the parent-batch position of
+/// `candidates[c].instances[j]`, which is what lets the merge restore the
+/// unsharded scan order. `candidates` may be shorter than the global
+/// cluster count when the shard has no member of the top clusters.
+struct ShardCandidates {
+  std::vector<CandidateType> candidates;
+  std::vector<std::vector<uint32_t>> positions;
+};
+
+/// Builds one shard's node candidates. `clusters` is the global clustering
+/// of the parent batch (num_items == parent batch node count); shard
+/// members look their cluster up through ShardBatch::node_positions.
+ShardCandidates BuildNodeShardCandidates(const pg::PropertyGraph& graph,
+                                         const pg::ShardBatch& shard,
+                                         const lsh::ClusterSet& clusters);
+
+/// Edge version; `endpoint_tokens[i]` pairs with shard.batch.edge_ids[i]
+/// (the shard vectorizer's EdgeEndpointTokens output).
+ShardCandidates BuildEdgeShardCandidates(
+    const pg::PropertyGraph& graph, const pg::ShardBatch& shard,
+    const lsh::ClusterSet& clusters,
+    const std::vector<std::pair<pg::LabelSetToken, pg::LabelSetToken>>&
+        endpoint_tokens);
+
+/// Folds per-shard candidates in fixed shard order into the candidates the
+/// unsharded BuildNodeCandidates / BuildEdgeCandidates scan would have
+/// produced — byte-identical: label/key/pattern/endpoint unions are
+/// order-free sets, key counts sum, and instances are re-interleaved by
+/// parent-batch position. `num_clusters` is the global cluster count.
+std::vector<CandidateType> MergeShardCandidates(
+    std::vector<ShardCandidates> shards, size_t num_clusters);
+
+/// Folds independently discovered shard schemas in fixed shard order
+/// through the Algorithm-2 merge (MergeSchemas): the relaxed seam for a
+/// future cross-machine `pghived`, where shards exchange only schemas.
+/// The fold is deterministic (same shard order, same result) and monotone
+/// (every shard's types survive as unions), but NOT byte-identical to a
+/// single-shard run: type discovery order — and with it type indexing and
+/// instance order — depends on the shard boundaries. In-process sharding
+/// uses MergeShardCandidates instead, which merges *below* extraction and
+/// keeps the byte-identity contract.
+SchemaGraph MergeShardSchemas(const std::vector<SchemaGraph>& shard_schemas,
+                              const ExtractionOptions& options = {});
+
+}  // namespace pghive::core
+
+#endif  // PGHIVE_CORE_SHARD_MERGE_H_

@@ -72,12 +72,15 @@ class MinHashLsh {
   /// The banding threshold (1/B)^(1/R) for these parameters.
   double BandingThreshold() const;
 
- private:
   /// Grouping step shared by both Cluster overloads, over precomputed
-  /// num x T signatures.
+  /// num x T signatures (row-major). Public so callers that compute
+  /// signatures piecewise — e.g. sharded discovery hashing each shard's
+  /// sets on its own pool, then grouping the gathered matrix globally —
+  /// can reuse the exact grouping the fused Cluster path applies.
   ClusterSet ClusterFromSignatures(const std::vector<uint64_t>& sigs,
                                    size_t num, util::ThreadPool* pool) const;
 
+ private:
   MinHashParams params_;
   std::vector<uint64_t> hash_seeds_;  // One per hash function.
 };

@@ -1,0 +1,37 @@
+#include "pg/shard_plan.h"
+
+#include <algorithm>
+
+namespace pghive::pg {
+
+ShardPlan::ShardPlan(size_t num_shards, uint64_t seed, size_t vnodes_per_shard)
+    : ring_(num_shards, vnodes_per_shard, seed) {}
+
+std::vector<ShardBatch> ShardPlan::Partition(const PropertyGraph& graph,
+                                             const GraphBatch& batch) const {
+  std::vector<ShardBatch> shards(num_shards());
+  for (uint32_t pos = 0; pos < batch.node_ids.size(); ++pos) {
+    NodeId id = batch.node_ids[pos];
+    ShardBatch& shard = shards[OwnerOfNode(id)];
+    shard.batch.node_ids.push_back(id);
+    shard.node_positions.push_back(pos);
+  }
+  for (uint32_t pos = 0; pos < batch.edge_ids.size(); ++pos) {
+    EdgeId id = batch.edge_ids[pos];
+    const Edge& edge = graph.edge(id);
+    uint32_t owner = OwnerOfNode(edge.src);
+    ShardBatch& shard = shards[owner];
+    shard.batch.edge_ids.push_back(id);
+    shard.edge_positions.push_back(pos);
+    if (OwnerOfNode(edge.dst) != owner) shard.mirror_nodes.push_back(edge.dst);
+  }
+  for (ShardBatch& shard : shards) {
+    std::sort(shard.mirror_nodes.begin(), shard.mirror_nodes.end());
+    shard.mirror_nodes.erase(
+        std::unique(shard.mirror_nodes.begin(), shard.mirror_nodes.end()),
+        shard.mirror_nodes.end());
+  }
+  return shards;
+}
+
+}  // namespace pghive::pg

@@ -1,0 +1,72 @@
+#ifndef PGHIVE_PG_SHARD_PLAN_H_
+#define PGHIVE_PG_SHARD_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pg/batch.h"
+#include "pg/graph.h"
+#include "util/consistent_hash.h"
+
+namespace pghive::pg {
+
+/// One shard's slice of a GraphBatch. The shard-local batch is itself a
+/// GraphBatch — "a shard is just a batch that never crosses the partition" —
+/// so every batch-scoped consumer (ColumnStore builds, the vectorizer, LSH
+/// scans) works on a shard unchanged, against its own contiguous arrays.
+struct ShardBatch {
+  /// Shard-local node/edge id lists, preserving the parent batch's relative
+  /// order. Order preservation is what lets per-shard results be scattered
+  /// back into parent-batch positions deterministically.
+  GraphBatch batch;
+
+  /// Position of batch.node_ids[i] / batch.edge_ids[i] in the parent
+  /// batch's node_ids / edge_ids. Strictly increasing.
+  std::vector<uint32_t> node_positions;
+  std::vector<uint32_t> edge_positions;
+
+  /// Katana-style mirror bookkeeping: endpoints of shard-local edges that
+  /// are owned by some other shard (this shard holds a read-only "mirror"
+  /// of them while scanning its edges). Sorted, deduplicated. Nodes owned
+  /// by this shard are never mirrors, even when they also appear as
+  /// endpoints.
+  std::vector<NodeId> mirror_nodes;
+};
+
+/// Deterministic consistent-hash partitioner for GraphBatches. Node
+/// ownership is `ring.ShardFor(node id)`; an edge is routed with its source
+/// endpoint (so per-shard edge scans read locally-owned sources), and any
+/// remote endpoint it drags along is recorded in the owning shard's
+/// mirror_nodes. The plan is a pure function of (num_shards, seed): the same
+/// graph partitioned twice yields byte-identical ShardBatches.
+class ShardPlan {
+ public:
+  explicit ShardPlan(
+      size_t num_shards, uint64_t seed = 0x5AD5,
+      size_t vnodes_per_shard = util::ConsistentHashRing::kDefaultVnodesPerShard);
+
+  /// Shard owning node `id`, in [0, num_shards()).
+  uint32_t OwnerOfNode(NodeId id) const { return ring_.ShardFor(id); }
+
+  /// Shard owning edge `id`: the owner of its source endpoint.
+  uint32_t OwnerOfEdge(const PropertyGraph& graph, EdgeId id) const {
+    return OwnerOfNode(graph.edge(id).src);
+  }
+
+  /// Splits `batch` into exactly num_shards() ShardBatches (some possibly
+  /// empty when num_shards exceeds the batch size). Every batch node lands
+  /// in exactly one shard's node_ids and every batch edge in exactly one
+  /// shard's edge_ids — an exact partition.
+  std::vector<ShardBatch> Partition(const PropertyGraph& graph,
+                                    const GraphBatch& batch) const;
+
+  size_t num_shards() const { return ring_.num_shards(); }
+
+ private:
+  util::ConsistentHashRing ring_;
+};
+
+}  // namespace pghive::pg
+
+#endif  // PGHIVE_PG_SHARD_PLAN_H_

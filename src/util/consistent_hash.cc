@@ -1,0 +1,35 @@
+#include "util/consistent_hash.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace pghive::util {
+
+ConsistentHashRing::ConsistentHashRing(size_t num_shards,
+                                       size_t vnodes_per_shard, uint64_t seed)
+    : num_shards_(num_shards == 0 ? 1 : num_shards),
+      vnodes_per_shard_(vnodes_per_shard == 0 ? 1 : vnodes_per_shard),
+      seed_(seed) {
+  ring_.reserve(num_shards_ * vnodes_per_shard_);
+  for (uint32_t shard = 0; shard < num_shards_; ++shard) {
+    for (size_t vnode = 0; vnode < vnodes_per_shard_; ++vnode) {
+      uint64_t point =
+          Mix64(HashCombine(HashCombine(seed_, shard), vnode));
+      ring_.emplace_back(point, shard);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+uint32_t ConsistentHashRing::ShardFor(uint64_t key) const {
+  if (num_shards_ == 1) return 0;
+  uint64_t h = Mix64(key ^ seed_);
+  // First ring point at or after h; wrap to the lowest point past the top.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(h, uint32_t{0}));
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+}  // namespace pghive::util

@@ -1,0 +1,50 @@
+#ifndef PGHIVE_UTIL_CONSISTENT_HASH_H_
+#define PGHIVE_UTIL_CONSISTENT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pghive::util {
+
+/// Consistent-hash ring mapping 64-bit keys onto shards. Each shard owns
+/// `vnodes_per_shard` points on a uint64 ring (hashed from (seed, shard,
+/// vnode)); a key belongs to the shard owning the first ring point at or
+/// after the key's hash, wrapping at the top of the ring. The layout is a
+/// pure function of (num_shards, vnodes_per_shard, seed) — same inputs,
+/// same ring, on every host — which is what makes a sharded discovery run
+/// reproducible and lets a future multi-machine deployment agree on
+/// ownership without coordination.
+///
+/// Virtual nodes keep shard loads balanced (±a few percent at the default
+/// 64 vnodes) and, when shards are later added or removed, bound the keys
+/// that change owner to roughly 1/num_shards of the space — the classic
+/// consistent-hashing contract.
+class ConsistentHashRing {
+ public:
+  static constexpr size_t kDefaultVnodesPerShard = 64;
+
+  /// `num_shards` must be >= 1 (a 1-shard ring maps everything to shard 0).
+  explicit ConsistentHashRing(size_t num_shards,
+                              size_t vnodes_per_shard = kDefaultVnodesPerShard,
+                              uint64_t seed = 0x5AD5);
+
+  /// Shard owning `key`, in [0, num_shards()). O(log(num_shards * vnodes)).
+  uint32_t ShardFor(uint64_t key) const;
+
+  size_t num_shards() const { return num_shards_; }
+  size_t vnodes_per_shard() const { return vnodes_per_shard_; }
+
+ private:
+  size_t num_shards_;
+  size_t vnodes_per_shard_;
+  uint64_t seed_;
+  // (ring point, shard) sorted by point; ties broken by shard id so the
+  // ring is a total order even under point collisions.
+  std::vector<std::pair<uint64_t, uint32_t>> ring_;
+};
+
+}  // namespace pghive::util
+
+#endif  // PGHIVE_UTIL_CONSISTENT_HASH_H_

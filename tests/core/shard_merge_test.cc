@@ -1,0 +1,209 @@
+// core::ShardMerge equivalence suite: folding per-shard candidate evidence
+// in fixed shard order must reproduce the unsharded BuildNodeCandidates /
+// BuildEdgeCandidates scan field for field — labels, keys, key counts,
+// instance order, pattern hashes, endpoints — for random graphs, random
+// clusterings, and any shard count (including mostly-empty shard sets).
+// Plus the relaxed seam: MergeShardSchemas folds shard schemas through the
+// Algorithm-2 merge deterministically.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "core/serialize.h"
+#include "core/shard_merge.h"
+#include "core/type_extraction.h"
+#include "lsh/clustering.h"
+#include "pg/batch.h"
+#include "pg/graph.h"
+#include "pg/shard_plan.h"
+#include "util/rng.h"
+
+namespace pghive::core {
+namespace {
+
+pg::PropertyGraph RandomPropertyGraph(uint64_t seed) {
+  util::Rng rng(seed);
+  pg::PropertyGraph g;
+  const size_t nodes = 20 + rng.NextBounded(120);
+  const char* labels[] = {"A", "B", "C"};
+  for (size_t i = 0; i < nodes; ++i) {
+    std::vector<std::string> ls;
+    if (rng.NextBool(0.8)) ls.push_back(labels[rng.NextBounded(3)]);
+    pg::NodeId n = g.AddNode(ls);
+    if (rng.NextBool(0.6)) g.SetNodeProperty(n, "p", pg::Value("1"));
+    if (rng.NextBool(0.3)) g.SetNodeProperty(n, "q", pg::Value("2"));
+  }
+  const size_t edges = 30 + rng.NextBounded(200);
+  for (size_t e = 0; e < edges; ++e) {
+    pg::EdgeId id = g.AddEdge(rng.NextBounded(nodes), rng.NextBounded(nodes),
+                              {rng.NextBool(0.5) ? "R" : "S"});
+    if (rng.NextBool(0.4)) g.SetEdgeProperty(id, "w", pg::Value("3"));
+  }
+  return g;
+}
+
+lsh::ClusterSet RandomClustering(size_t num_items, size_t num_clusters,
+                                 uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<uint32_t> assignment(num_items);
+  for (auto& a : assignment) {
+    a = static_cast<uint32_t>(rng.NextBounded(num_clusters));
+  }
+  return lsh::ClusterSet(std::move(assignment));
+}
+
+std::vector<std::pair<pg::LabelSetToken, pg::LabelSetToken>> EndpointTokens(
+    pg::PropertyGraph* g, const std::vector<pg::EdgeId>& edge_ids) {
+  std::vector<std::pair<pg::LabelSetToken, pg::LabelSetToken>> tokens;
+  tokens.reserve(edge_ids.size());
+  for (pg::EdgeId e : edge_ids) {
+    const pg::Edge& edge = g->edge(e);
+    tokens.emplace_back(g->vocab().TokenForLabelSet(g->node(edge.src).labels),
+                        g->vocab().TokenForLabelSet(g->node(edge.dst).labels));
+  }
+  return tokens;
+}
+
+void ExpectCandidatesEqual(const std::vector<CandidateType>& got,
+                           const std::vector<CandidateType>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t c = 0; c < got.size(); ++c) {
+    EXPECT_EQ(got[c].labels, want[c].labels) << "cluster " << c;
+    EXPECT_EQ(got[c].keys, want[c].keys) << "cluster " << c;
+    EXPECT_EQ(got[c].instances, want[c].instances) << "cluster " << c;
+    EXPECT_EQ(got[c].instance_count, want[c].instance_count) << "cluster " << c;
+    EXPECT_EQ(got[c].key_counts, want[c].key_counts) << "cluster " << c;
+    EXPECT_EQ(got[c].pattern_hashes, want[c].pattern_hashes) << "cluster " << c;
+    EXPECT_EQ(got[c].endpoints, want[c].endpoints) << "cluster " << c;
+  }
+}
+
+class ShardMergeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShardMergeTest, NodeFoldMatchesUnshardedScan) {
+  pg::PropertyGraph g = RandomPropertyGraph(GetParam());
+  pg::GraphBatch batch = pg::FullBatch(g);
+  lsh::ClusterSet clusters =
+      RandomClustering(batch.node_ids.size(), 6, GetParam() ^ 0xC1);
+  std::vector<CandidateType> want = BuildNodeCandidates(g, batch, clusters);
+  for (size_t num_shards : {size_t{1}, size_t{2}, size_t{3}, size_t{5}}) {
+    pg::ShardPlan plan(num_shards, /*seed=*/GetParam());
+    std::vector<ShardCandidates> parts;
+    for (const pg::ShardBatch& shard : plan.Partition(g, batch)) {
+      parts.push_back(BuildNodeShardCandidates(g, shard, clusters));
+    }
+    ExpectCandidatesEqual(
+        MergeShardCandidates(std::move(parts), clusters.num_clusters()), want);
+  }
+}
+
+TEST_P(ShardMergeTest, EdgeFoldMatchesUnshardedScan) {
+  pg::PropertyGraph g = RandomPropertyGraph(GetParam());
+  pg::GraphBatch batch = pg::FullBatch(g);
+  lsh::ClusterSet clusters =
+      RandomClustering(batch.edge_ids.size(), 4, GetParam() ^ 0xC2);
+  std::vector<CandidateType> want = BuildEdgeCandidates(
+      g, batch, clusters, EndpointTokens(&g, batch.edge_ids));
+  for (size_t num_shards : {size_t{2}, size_t{4}}) {
+    pg::ShardPlan plan(num_shards, /*seed=*/GetParam());
+    std::vector<ShardCandidates> parts;
+    for (const pg::ShardBatch& shard : plan.Partition(g, batch)) {
+      parts.push_back(BuildEdgeShardCandidates(
+          g, shard, clusters, EndpointTokens(&g, shard.batch.edge_ids)));
+    }
+    ExpectCandidatesEqual(
+        MergeShardCandidates(std::move(parts), clusters.num_clusters()), want);
+  }
+}
+
+// Far more shards than elements: most ShardCandidates are empty, and the
+// fold must still reproduce the unsharded scan exactly.
+TEST_P(ShardMergeTest, MostlyEmptyShardsFoldCleanly) {
+  pg::PropertyGraph g = RandomPropertyGraph(GetParam());
+  pg::GraphBatch batch = pg::FullBatch(g);
+  lsh::ClusterSet clusters =
+      RandomClustering(batch.node_ids.size(), 3, GetParam() ^ 0xC3);
+  std::vector<CandidateType> want = BuildNodeCandidates(g, batch, clusters);
+  pg::ShardPlan plan(4 * (g.num_nodes() + g.num_edges()),
+                     /*seed=*/GetParam());
+  std::vector<ShardCandidates> parts;
+  for (const pg::ShardBatch& shard : plan.Partition(g, batch)) {
+    parts.push_back(BuildNodeShardCandidates(g, shard, clusters));
+  }
+  ExpectCandidatesEqual(
+      MergeShardCandidates(std::move(parts), clusters.num_clusters()), want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardMergeTest,
+                         ::testing::Values(1u, 2u, 17u, 42u));
+
+CandidateType MakeCandidate(std::vector<pg::LabelId> labels,
+                            std::vector<pg::PropKeyId> keys,
+                            std::vector<uint64_t> instances) {
+  CandidateType c;
+  c.labels = std::move(labels);
+  c.keys = std::move(keys);
+  for (pg::PropKeyId k : c.keys) c.key_counts.emplace_back(k, 1);
+  c.instances = std::move(instances);
+  c.instance_count = c.instances.size();
+  c.pattern_hashes.push_back(NodePattern{c.labels, c.keys}.Hash());
+  return c;
+}
+
+// The relaxed cross-machine seam: folding shard schemas through the
+// Algorithm-2 merge is deterministic in shard order, preserves every
+// shard's evidence (monotone unions), and degenerates to identity for a
+// single shard.
+TEST(MergeShardSchemasTest, FoldsInFixedShardOrder) {
+  SchemaGraph a;
+  ExtractNodeTypes({MakeCandidate({1}, {10}, {0, 1})}, {}, &a);
+  SchemaGraph b;
+  ExtractNodeTypes({MakeCandidate({2}, {11}, {2})}, {}, &b);
+
+  SchemaGraph merged = MergeShardSchemas({a, b});
+  EXPECT_EQ(merged.node_types().size(), 2u);
+  SchemaGraph again = MergeShardSchemas({a, b});
+  ASSERT_EQ(again.node_types().size(), merged.node_types().size());
+  for (size_t t = 0; t < merged.node_types().size(); ++t) {
+    EXPECT_EQ(again.node_types()[t].labels, merged.node_types()[t].labels);
+    EXPECT_EQ(again.node_types()[t].instances,
+              merged.node_types()[t].instances);
+  }
+
+  // Pairwise fold is the definition: {a, b} == MergeSchemas(a, b).
+  SchemaGraph pairwise = MergeSchemas(a, b);
+  ASSERT_EQ(merged.node_types().size(), pairwise.node_types().size());
+  for (size_t t = 0; t < merged.node_types().size(); ++t) {
+    EXPECT_EQ(merged.node_types()[t].labels, pairwise.node_types()[t].labels);
+  }
+}
+
+TEST(MergeShardSchemasTest, SingleAndEmptyInputs) {
+  EXPECT_TRUE(MergeShardSchemas({}).node_types().empty());
+  SchemaGraph a;
+  ExtractNodeTypes({MakeCandidate({1}, {10}, {0})}, {}, &a);
+  SchemaGraph merged = MergeShardSchemas({a});
+  ASSERT_EQ(merged.node_types().size(), 1u);
+  EXPECT_EQ(merged.node_types()[0].labels, a.node_types()[0].labels);
+  EXPECT_EQ(merged.node_types()[0].instance_count,
+            a.node_types()[0].instance_count);
+}
+
+// Shard schemas with the same labeled type merge their instance evidence —
+// nothing is dropped (Lemma 1/2 union semantics).
+TEST(MergeShardSchemasTest, SameLabelTypesUnion) {
+  SchemaGraph a;
+  ExtractNodeTypes({MakeCandidate({1}, {10}, {0, 1})}, {}, &a);
+  SchemaGraph b;
+  ExtractNodeTypes({MakeCandidate({1}, {11}, {2, 3})}, {}, &b);
+  SchemaGraph merged = MergeShardSchemas({a, b});
+  ASSERT_EQ(merged.node_types().size(), 1u);
+  EXPECT_EQ(merged.node_types()[0].instance_count, 4u);
+  EXPECT_EQ(merged.node_types()[0].Keys(),
+            (std::vector<pg::PropKeyId>{10, 11}));
+}
+
+}  // namespace
+}  // namespace pghive::core

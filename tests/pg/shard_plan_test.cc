@@ -1,0 +1,178 @@
+// Randomized property suite for ShardPlan: the consistent-hash partition is
+// an exact partition of the batch's nodes and edges, deterministic under a
+// fixed seed, order-preserving (per-shard positions reconstruct the parent
+// batch), correct about mirror bookkeeping, and stable when num_shards far
+// exceeds the graph size. Graph shapes are drawn from a seeded RNG so every
+// run exercises the same (reproducible) cases.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "pg/batch.h"
+#include "pg/shard_plan.h"
+#include "util/rng.h"
+
+namespace pghive::pg {
+namespace {
+
+PropertyGraph RandomGraph(uint64_t seed) {
+  util::Rng rng(seed);
+  PropertyGraph g;
+  const size_t nodes = 1 + rng.NextBounded(200);
+  const char* labels[] = {"A", "B", "C"};
+  for (size_t i = 0; i < nodes; ++i) {
+    std::vector<std::string> ls;
+    if (rng.NextBool(0.8)) ls.push_back(labels[rng.NextBounded(3)]);
+    g.AddNode(ls);
+  }
+  const size_t edges = rng.NextBounded(300);
+  for (size_t e = 0; e < edges; ++e) {
+    g.AddEdge(rng.NextBounded(nodes), rng.NextBounded(nodes), {"R"});
+  }
+  return g;
+}
+
+class ShardPlanTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Every batch node and edge lands in exactly one shard, node owners agree
+// with OwnerOfNode, and edges ride with their source endpoint.
+TEST_P(ShardPlanTest, ExactPartitionRoutedByOwner) {
+  util::Rng rng(GetParam() ^ 0x51A2);
+  PropertyGraph g = RandomGraph(GetParam());
+  GraphBatch batch = FullBatch(g);
+  for (size_t trial = 0; trial < 4; ++trial) {
+    const size_t num_shards = 1 + rng.NextBounded(9);
+    ShardPlan plan(num_shards, rng.NextU64());
+    auto shards = plan.Partition(g, batch);
+    ASSERT_EQ(shards.size(), num_shards);
+    std::set<NodeId> nodes;
+    std::set<EdgeId> edges;
+    for (uint32_t s = 0; s < shards.size(); ++s) {
+      for (NodeId n : shards[s].batch.node_ids) {
+        EXPECT_TRUE(nodes.insert(n).second) << "node " << n << " duplicated";
+        EXPECT_EQ(plan.OwnerOfNode(n), s);
+      }
+      for (EdgeId e : shards[s].batch.edge_ids) {
+        EXPECT_TRUE(edges.insert(e).second) << "edge " << e << " duplicated";
+        EXPECT_EQ(plan.OwnerOfNode(g.edge(e).src), s);
+        EXPECT_EQ(plan.OwnerOfEdge(g, e), s);
+      }
+    }
+    EXPECT_EQ(nodes.size(), batch.node_ids.size());
+    EXPECT_EQ(edges.size(), batch.edge_ids.size());
+  }
+}
+
+// Per-shard positions are strictly increasing and map each shard-local
+// element back to the parent batch slot that holds the same id — the
+// order-preservation the deterministic shard merge relies on.
+TEST_P(ShardPlanTest, PositionsReconstructParentOrder) {
+  PropertyGraph g = RandomGraph(GetParam());
+  auto batches = SplitIntoBatches(g, 3, /*seed=*/GetParam());
+  ShardPlan plan(4, /*seed=*/GetParam() ^ 0xBEEF);
+  for (const GraphBatch& batch : batches) {
+    for (const ShardBatch& shard : plan.Partition(g, batch)) {
+      ASSERT_EQ(shard.node_positions.size(), shard.batch.node_ids.size());
+      ASSERT_EQ(shard.edge_positions.size(), shard.batch.edge_ids.size());
+      for (size_t i = 0; i < shard.node_positions.size(); ++i) {
+        if (i > 0) {
+          EXPECT_LT(shard.node_positions[i - 1], shard.node_positions[i]);
+        }
+        EXPECT_EQ(batch.node_ids[shard.node_positions[i]],
+                  shard.batch.node_ids[i]);
+      }
+      for (size_t i = 0; i < shard.edge_positions.size(); ++i) {
+        if (i > 0) {
+          EXPECT_LT(shard.edge_positions[i - 1], shard.edge_positions[i]);
+        }
+        EXPECT_EQ(batch.edge_ids[shard.edge_positions[i]],
+                  shard.batch.edge_ids[i]);
+      }
+    }
+  }
+}
+
+// mirror_nodes is exactly the sorted deduplicated set of remote endpoints
+// of the shard's edges — never a locally owned node.
+TEST_P(ShardPlanTest, MirrorNodesAreRemoteEndpoints) {
+  PropertyGraph g = RandomGraph(GetParam());
+  GraphBatch batch = FullBatch(g);
+  ShardPlan plan(3, /*seed=*/GetParam());
+  auto shards = plan.Partition(g, batch);
+  for (uint32_t s = 0; s < shards.size(); ++s) {
+    std::set<NodeId> expected;
+    for (EdgeId e : shards[s].batch.edge_ids) {
+      NodeId dst = g.edge(e).dst;
+      if (plan.OwnerOfNode(dst) != s) expected.insert(dst);
+    }
+    std::vector<NodeId> want(expected.begin(), expected.end());
+    EXPECT_EQ(shards[s].mirror_nodes, want) << "shard " << s;
+    for (NodeId m : shards[s].mirror_nodes) {
+      EXPECT_NE(plan.OwnerOfNode(m), s) << "owned node listed as mirror";
+    }
+  }
+}
+
+// Same (num_shards, seed) => byte-identical plan; and ownership is a pure
+// function of the node id, so two plans agree batch by batch.
+TEST_P(ShardPlanTest, SeedDeterminesPlan) {
+  PropertyGraph g = RandomGraph(GetParam());
+  GraphBatch batch = FullBatch(g);
+  ShardPlan a(4, /*seed=*/GetParam());
+  ShardPlan b(4, /*seed=*/GetParam());
+  auto sa = a.Partition(g, batch);
+  auto sb = b.Partition(g, batch);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t s = 0; s < sa.size(); ++s) {
+    EXPECT_EQ(sa[s].batch.node_ids, sb[s].batch.node_ids) << "shard " << s;
+    EXPECT_EQ(sa[s].batch.edge_ids, sb[s].batch.edge_ids) << "shard " << s;
+    EXPECT_EQ(sa[s].node_positions, sb[s].node_positions) << "shard " << s;
+    EXPECT_EQ(sa[s].edge_positions, sb[s].edge_positions) << "shard " << s;
+    EXPECT_EQ(sa[s].mirror_nodes, sb[s].mirror_nodes) << "shard " << s;
+  }
+}
+
+// num_shards far beyond the element count: mostly-empty shards, the
+// partition still holds, and ownership stays consistent with the ring.
+TEST_P(ShardPlanTest, ManyMoreShardsThanElements) {
+  PropertyGraph g = RandomGraph(GetParam());
+  GraphBatch batch = FullBatch(g);
+  const size_t num_shards = 5 * (g.num_nodes() + g.num_edges()) + 3;
+  ShardPlan plan(num_shards, /*seed=*/GetParam());
+  auto shards = plan.Partition(g, batch);
+  ASSERT_EQ(shards.size(), num_shards);
+  size_t node_total = 0, edge_total = 0, non_empty = 0;
+  for (uint32_t s = 0; s < shards.size(); ++s) {
+    node_total += shards[s].batch.node_ids.size();
+    edge_total += shards[s].batch.edge_ids.size();
+    if (!shards[s].batch.empty()) ++non_empty;
+    for (NodeId n : shards[s].batch.node_ids) {
+      EXPECT_EQ(plan.OwnerOfNode(n), s);
+    }
+  }
+  EXPECT_EQ(node_total, g.num_nodes());
+  EXPECT_EQ(edge_total, g.num_edges());
+  EXPECT_LE(non_empty, g.num_nodes() + g.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardPlanTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 42u, 1234u));
+
+// A 1-shard plan routes everything to shard 0 and mirrors nothing — the
+// degenerate case num_shards == 1 short-circuits to in PgHive.
+TEST(ShardPlanTest, SingleShardOwnsEverything) {
+  PropertyGraph g = RandomGraph(7);
+  GraphBatch batch = FullBatch(g);
+  ShardPlan plan(1, /*seed=*/42);
+  auto shards = plan.Partition(g, batch);
+  ASSERT_EQ(shards.size(), 1u);
+  EXPECT_EQ(shards[0].batch.node_ids, batch.node_ids);
+  EXPECT_EQ(shards[0].batch.edge_ids, batch.edge_ids);
+  EXPECT_TRUE(shards[0].mirror_nodes.empty());
+}
+
+}  // namespace
+}  // namespace pghive::pg

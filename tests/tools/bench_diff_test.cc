@@ -203,6 +203,36 @@ TEST(IsRegressionTest, ThroughputMode) {
   EXPECT_FALSE(IsRegression(no_eps, 10.0, GateMode::kThroughput));
 }
 
+TEST(IsIdenticalCodeStageTest, MatchesStagePrefix) {
+  EXPECT_TRUE(IsIdenticalCodeStage("group"));
+  EXPECT_TRUE(IsIdenticalCodeStage("group/threads=1"));
+  EXPECT_TRUE(IsIdenticalCodeStage("group/threads=8"));
+  EXPECT_FALSE(IsIdenticalCodeStage("vectorize/threads=1"));
+  EXPECT_FALSE(IsIdenticalCodeStage("grouping/threads=1"));  // Exact stage.
+  EXPECT_FALSE(IsIdenticalCodeStage("hash"));
+  EXPECT_FALSE(IsIdenticalCodeStage(""));
+}
+
+// The group stage runs identical code on both data planes, so a huge eps
+// swing there is pure noise: never a throughput regression, while the same
+// numbers on a real stage still trip the gate — and other gate modes are
+// unaffected by the skip list.
+TEST(IsRegressionTest, ThroughputModeSkipsIdenticalCodeStages) {
+  DiffRow noisy_group{"group/threads=2", 100.0, 150.0, 50.0, 0.0, 0.0,
+                      0.0, 200000.0, 100000.0, 50.0};
+  EXPECT_FALSE(IsRegression(noisy_group, 10.0, GateMode::kThroughput));
+  EXPECT_TRUE(IsRegression(noisy_group, 10.0, GateMode::kAbsoluteMs));
+
+  DiffRow same_numbers_real_stage{"vectorize/threads=2", 100.0, 150.0, 50.0,
+                                  0.0, 0.0, 0.0, 200000.0, 100000.0, 50.0};
+  EXPECT_TRUE(
+      IsRegression(same_numbers_real_stage, 10.0, GateMode::kThroughput));
+
+  EXPECT_TRUE(RegressedNames({noisy_group, same_numbers_real_stage}, 10.0,
+                             GateMode::kThroughput) ==
+              std::vector<std::string>{"vectorize/threads=2"});
+}
+
 TEST(MarkdownTableTest, ThroughputModeShowsElementsPerSec) {
   std::vector<DiffRow> rows = {
       {"vectorize/threads=1", 100.0, 125.0, 25.0, 0.0, 0.0, 0.0,

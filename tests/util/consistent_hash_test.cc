@@ -1,0 +1,82 @@
+// ConsistentHashRing: ownership is in range, a pure function of
+// (num_shards, vnodes, seed), reasonably balanced at the default vnode
+// count, and mostly stable when a shard is added — the consistent-hashing
+// contract the shard planner builds on.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "util/consistent_hash.h"
+
+namespace pghive::util {
+namespace {
+
+TEST(ConsistentHashRingTest, ShardInRangeAndDeterministic) {
+  ConsistentHashRing a(7, 32, /*seed=*/123);
+  ConsistentHashRing b(7, 32, /*seed=*/123);
+  for (uint64_t key = 0; key < 5000; ++key) {
+    uint32_t shard = a.ShardFor(key);
+    EXPECT_LT(shard, 7u);
+    EXPECT_EQ(shard, b.ShardFor(key));
+  }
+}
+
+TEST(ConsistentHashRingTest, SingleShardOwnsEverything) {
+  ConsistentHashRing ring(1);
+  for (uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(ring.ShardFor(key), 0u);
+  }
+}
+
+TEST(ConsistentHashRingTest, DifferentSeedsGiveDifferentLayouts) {
+  ConsistentHashRing a(4, 64, /*seed=*/1);
+  ConsistentHashRing b(4, 64, /*seed=*/2);
+  size_t moved = 0;
+  for (uint64_t key = 0; key < 2000; ++key) {
+    if (a.ShardFor(key) != b.ShardFor(key)) ++moved;
+  }
+  EXPECT_GT(moved, 0u);
+}
+
+// With the default vnode count no shard should be starved or hoarding:
+// expect every shard within a loose factor of the mean.
+TEST(ConsistentHashRingTest, LoadIsRoughlyBalanced) {
+  const size_t num_shards = 8;
+  const size_t keys = 80000;
+  ConsistentHashRing ring(num_shards);
+  std::vector<size_t> load(num_shards, 0);
+  for (uint64_t key = 0; key < keys; ++key) ++load[ring.ShardFor(key)];
+  const size_t mean = keys / num_shards;
+  for (size_t s = 0; s < num_shards; ++s) {
+    EXPECT_GT(load[s], mean / 3) << "shard " << s << " starved";
+    EXPECT_LT(load[s], mean * 3) << "shard " << s << " hoarding";
+  }
+}
+
+// Adding one shard moves roughly 1/num_shards of the keys, not all of them:
+// keys that stay put must keep their owner.
+TEST(ConsistentHashRingTest, GrowingTheRingMovesFewKeys) {
+  const size_t keys = 20000;
+  ConsistentHashRing before(4, 64, /*seed=*/9);
+  ConsistentHashRing after(5, 64, /*seed=*/9);
+  size_t moved = 0;
+  for (uint64_t key = 0; key < keys; ++key) {
+    uint32_t b = before.ShardFor(key);
+    uint32_t a = after.ShardFor(key);
+    if (a != b) {
+      ++moved;
+      // Whatever moves must move to the new shard's territory or a
+      // reshuffled vnode boundary — at minimum it stays in range.
+      EXPECT_LT(a, 5u);
+    }
+  }
+  // Ideal is keys/5; allow a generous factor for vnode variance, but far
+  // below a full reshuffle.
+  EXPECT_LT(moved, keys / 2);
+  EXPECT_GT(moved, 0u);
+}
+
+}  // namespace
+}  // namespace pghive::util

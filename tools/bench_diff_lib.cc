@@ -314,11 +314,23 @@ std::vector<DiffRow> DiffEntries(const std::vector<BenchEntry>& baseline,
   return rows;
 }
 
+bool IsIdenticalCodeStage(const std::string& entry_name) {
+  // Stages whose row and columnar implementations are the same code path,
+  // so any eps delta between the planes is measurement noise.
+  static constexpr const char* kIdenticalCodeStages[] = {"group"};
+  const std::string stage = entry_name.substr(0, entry_name.find('/'));
+  for (const char* skip : kIdenticalCodeStages) {
+    if (stage == skip) return true;
+  }
+  return false;
+}
+
 bool IsRegression(const DiffRow& row, double threshold_pct, GateMode mode) {
   if (mode == GateMode::kSpeedupRatio) {
     return row.base_speedup > 0 && row.speedup_drop_pct > threshold_pct;
   }
   if (mode == GateMode::kThroughput) {
+    if (IsIdenticalCodeStage(row.name)) return false;
     return row.base_eps > 0 && row.eps_drop_pct > threshold_pct;
   }
   return row.base_ms > 0 && row.delta_pct > threshold_pct;

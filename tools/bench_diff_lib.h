@@ -66,12 +66,22 @@ std::vector<BenchEntry> ParseBenchJson(const std::string& text,
 std::vector<DiffRow> DiffEntries(const std::vector<BenchEntry>& baseline,
                                  const std::vector<BenchEntry>& current);
 
+/// True when the entry belongs to a stage that runs identical code on both
+/// sides of the row-vs-columnar comparison (currently the `group` stage:
+/// signature grouping never touches the data plane, so its elements/sec
+/// delta in the --rowcol_json artifact is pure measurement noise). The
+/// kThroughput gate skips these entries instead of gating on noise; they
+/// still appear in diff tables. Matches the stage prefix of sweep-format
+/// names ("group" and "group/threads=8" both match).
+bool IsIdenticalCodeStage(const std::string& entry_name);
+
 /// The gate predicate. kAbsoluteMs: the row slowed down by strictly more
 /// than threshold_pct percent. kSpeedupRatio: the row's parallel speedup
 /// dropped by strictly more than threshold_pct percent. kThroughput: the
-/// row's elements/sec dropped by strictly more than threshold_pct percent.
-/// Rows without a meaningful ratio (non-positive baseline ms, or a side
-/// missing speedup/eps data) never regress.
+/// row's elements/sec dropped by strictly more than threshold_pct percent,
+/// except for IsIdenticalCodeStage entries, which never regress in this
+/// mode. Rows without a meaningful ratio (non-positive baseline ms, or a
+/// side missing speedup/eps data) never regress.
 bool IsRegression(const DiffRow& row, double threshold_pct,
                   GateMode mode = GateMode::kAbsoluteMs);
 

@@ -3,13 +3,16 @@
 // Subcommands:
 //   discover  --graph FILE [--method elsh|minhash] [--batches N]
 //             [--out PREFIX] [--loose] [--sample-datatypes] [--threads N]
-//             [--pipeline-depth D] [--data-plane columnar|row]
+//             [--pipeline-depth D] [--data-plane columnar|row] [--shards N]
 //       --threads 0 (default) uses every hardware thread; --threads 1 runs
 //       serially. --pipeline-depth D (default 1) overlaps batch i+1's
 //       preprocess with batch i's extract during multi-batch ingest; the
 //       discovered schema is identical for every threads/depth combination.
 //       --data-plane row keeps the row-at-a-time inner loops instead of the
 //       columnar ones; the schema is byte-identical either way.
+//       --shards N (default 1) partitions every batch by consistent hashing
+//       over node ids and runs the per-shard data plane in parallel; the
+//       schema is byte-identical to --shards=1 at every shard count.
 //       Discovers the schema of a graph file (pg::SaveGraphFile format) and
 //       prints it; with --out also writes PREFIX.pgs and PREFIX.xsd.
 //   import    --nodes FILE[,FILE...] --edges FILE[,FILE...] --out GRAPH
@@ -140,6 +143,13 @@ int CmdDiscover(const Args& args) {
                 "preprocess with the current batch's extract)");
   }
   options.pipeline_depth = static_cast<size_t>(depth);
+  long long shards = 1;
+  if (!ParseIntOption(args, "shards", 1, 4096, &shards)) {
+    return Fail("--shards must be an integer in [1, 4096] "
+                "(1 = unsharded; higher partitions every batch by "
+                "consistent hashing and runs the shards in parallel)");
+  }
+  options.num_shards = static_cast<size_t>(shards);
   const std::string plane = args.Get("data-plane", "columnar");
   if (plane == "row") {
     options.columnar = false;
@@ -273,7 +283,7 @@ int main(int argc, char** argv) {
                "usage: pghive <discover|import|generate|validate> [options]\n"
                "  discover --graph FILE [--method elsh|minhash] [--batches N]"
                " [--out PREFIX] [--loose] [--threads N] [--pipeline-depth D]"
-               " [--data-plane columnar|row]\n"
+               " [--data-plane columnar|row] [--shards N]\n"
                "  import   --nodes a.csv,b.csv --edges rels.csv --out g.pg\n"
                "  generate --dataset POLE [--scale 1.0] [--seed 42] --out g.pg\n"
                "  validate --graph g.pg --schema s.pgs [--strict]\n");
