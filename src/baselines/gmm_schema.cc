@@ -106,7 +106,7 @@ void SplitRecursive(const GaussianMixture& gmm, const GmmOptions& gmm_opts,
 
 }  // namespace
 
-util::Result<GmmSchemaResult> GmmSchema::Discover(
+util::StatusOr<GmmSchemaResult> GmmSchema::Discover(
     const pg::PropertyGraph& graph) const {
   const size_t n = graph.num_nodes();
   if (n == 0) {

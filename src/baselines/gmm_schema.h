@@ -52,7 +52,7 @@ class GmmSchema {
  public:
   explicit GmmSchema(GmmSchemaOptions options) : options_(options) {}
 
-  util::Result<GmmSchemaResult> Discover(const pg::PropertyGraph& graph) const;
+  util::StatusOr<GmmSchemaResult> Discover(const pg::PropertyGraph& graph) const;
 
  private:
   GmmSchemaOptions options_;

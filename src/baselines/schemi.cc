@@ -157,7 +157,7 @@ void ClusterElements(const ElementVec& elements, const LabelFreq& label_freq,
 
 }  // namespace
 
-util::Result<SchemiResult> SchemI::Discover(
+util::StatusOr<SchemiResult> SchemI::Discover(
     const pg::PropertyGraph& graph) const {
   if (graph.num_nodes() == 0) {
     return util::Status::FailedPrecondition("empty graph");

@@ -48,7 +48,7 @@ class SchemI {
  public:
   explicit SchemI(SchemiOptions options) : options_(options) {}
 
-  util::Result<SchemiResult> Discover(const pg::PropertyGraph& graph) const;
+  util::StatusOr<SchemiResult> Discover(const pg::PropertyGraph& graph) const;
 
  private:
   SchemiOptions options_;

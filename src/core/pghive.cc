@@ -15,11 +15,16 @@
 
 namespace pghive::core {
 
-PgHive::PgHive(pg::PropertyGraph* graph, PgHiveOptions options)
+PgHive::PgHive(pg::PropertyGraph* graph, PgHiveOptions options,
+               util::ThreadPool* shared_pool)
     : graph_(graph), options_(options) {
   PGHIVE_CHECK(graph_ != nullptr);
-  if (util::ThreadPool::ResolveThreads(options_.num_threads) > 1) {
-    pool_ = std::make_unique<util::ThreadPool>(options_.num_threads);
+  if (shared_pool != nullptr && shared_pool->num_threads() > 1) {
+    pool_ = shared_pool;
+  } else if (shared_pool == nullptr &&
+             util::ThreadPool::ResolveThreads(options_.num_threads) > 1) {
+    owned_pool_ = std::make_unique<util::ThreadPool>(options_.num_threads);
+    pool_ = owned_pool_.get();
   }
   if (options_.num_shards > 1) {
     shard_plan_ =
@@ -29,7 +34,8 @@ PgHive::PgHive(pg::PropertyGraph* graph, PgHiveOptions options)
     // would be pure overhead — shards then run inline on whichever main-pool
     // worker picked them up (still shard-parallel, just not nested).
     const size_t resolved =
-        util::ThreadPool::ResolveThreads(options_.num_threads);
+        pool_ != nullptr ? pool_->num_threads()
+                         : util::ThreadPool::ResolveThreads(options_.num_threads);
     const size_t per_shard =
         resolved > 1 ? std::max<size_t>(1, resolved / options_.num_shards) : 1;
     if (per_shard > 1) {
@@ -53,6 +59,28 @@ PgHive::PgHive(pg::PropertyGraph* graph, PgHiveOptions options)
 }
 
 PgHive::~PgHive() = default;
+
+util::StatusOr<std::unique_ptr<PgHive>> PgHive::Create(
+    pg::PropertyGraph* graph, PgHiveOptions options,
+    util::ThreadPool* shared_pool) {
+  if (graph == nullptr) {
+    return util::Status::InvalidArgument("PgHive needs a non-null graph");
+  }
+  util::Status valid = options.Validate();
+  if (!valid.ok()) return valid;
+  return std::make_unique<PgHive>(graph, options, shared_pool);
+}
+
+namespace {
+
+util::Status PhaseError(PgHive::Phase phase, const char* call) {
+  return util::Status::FailedPrecondition(
+      std::string(call) + " on a " +
+      (phase == PgHive::Phase::kFinished ? "finished" : "failed") +
+      " PgHive; construct a new hive to discover again");
+}
+
+}  // namespace
 
 lsh::EuclideanLshParams PgHive::NodeElshParams(const FeatureMatrix& features) {
   AdaptiveChoice choice;
@@ -138,7 +166,7 @@ lsh::ClusterSet PgHive::ClusterNodes(const pg::GraphBatch& batch,
   if (options_.method == ClusterMethod::kElsh) {
     lsh::EuclideanLshParams params = NodeElshParams(features);
     lsh::EuclideanLsh hasher(features.dim, params);
-    return hasher.Cluster(features.data, features.num, pool_.get());
+    return hasher.Cluster(features.data, features.num, pool_);
   }
   // MinHash path clusters the element sets.
   lsh::MinHashParams params = NodeMinHashParams(features);
@@ -147,9 +175,9 @@ lsh::ClusterSet PgHive::ClusterNodes(const pg::GraphBatch& batch,
     ElementSetCsr csr = vectorizer->NodeSetSpans(batch);
     return hasher.Cluster(
         lsh::SetSpans{csr.elements.data(), csr.offsets.data(), csr.num()},
-        pool_.get());
+        pool_);
   }
-  return hasher.Cluster(vectorizer->NodeSets(batch), pool_.get());
+  return hasher.Cluster(vectorizer->NodeSets(batch), pool_);
 }
 
 lsh::ClusterSet PgHive::ClusterEdges(const pg::GraphBatch& batch,
@@ -158,7 +186,7 @@ lsh::ClusterSet PgHive::ClusterEdges(const pg::GraphBatch& batch,
   if (options_.method == ClusterMethod::kElsh) {
     lsh::EuclideanLshParams params = EdgeElshParams(features);
     lsh::EuclideanLsh hasher(features.dim, params);
-    return hasher.Cluster(features.data, features.num, pool_.get());
+    return hasher.Cluster(features.data, features.num, pool_);
   }
   lsh::MinHashParams params = EdgeMinHashParams(features);
   lsh::MinHashLsh hasher(params);
@@ -166,12 +194,13 @@ lsh::ClusterSet PgHive::ClusterEdges(const pg::GraphBatch& batch,
     ElementSetCsr csr = vectorizer->EdgeSetSpans(batch);
     return hasher.Cluster(
         lsh::SetSpans{csr.elements.data(), csr.offsets.data(), csr.num()},
-        pool_.get());
+        pool_);
   }
-  return hasher.Cluster(vectorizer->EdgeSets(batch), pool_.get());
+  return hasher.Cluster(vectorizer->EdgeSets(batch), pool_);
 }
 
 util::Status PgHive::ProcessBatch(pg::GraphBatch batch) {
+  if (phase_ != Phase::kIngesting) return PhaseError(phase_, "ProcessBatch()");
   return ProcessPrepared(PreprocessBatch(std::move(batch)));
 }
 
@@ -190,7 +219,7 @@ PgHive::PreparedBatch PgHive::PreprocessBatch(pg::GraphBatch batch) {
   // long as batches preprocess in order, ids and weights are identical
   // whether or not later stages overlap.
   prepared.vectorizer = std::make_unique<Vectorizer>(
-      graph_, embedder_.get(), pool_.get(), options_.columnar);
+      graph_, embedder_.get(), pool_, options_.columnar);
   if (word2vec_ != nullptr) {
     embed::LabelCorpus corpus;
     if (options_.columnar) {
@@ -204,7 +233,7 @@ PgHive::PreparedBatch PgHive::PreprocessBatch(pg::GraphBatch batch) {
     } else {
       corpus = embed::BuildLabelCorpus(*graph_, b);
     }
-    word2vec_->Train(corpus, pool_.get());
+    word2vec_->Train(corpus, pool_);
   }
   prepared.node_features = prepared.vectorizer->NodeFeatures(b);
   prepared.edge_features = prepared.vectorizer->EdgeFeatures(b);
@@ -262,7 +291,7 @@ PgHive::PreparedBatch PgHive::PreprocessSharded(pg::GraphBatch batch) {
     // (src, edge, dst), then the remaining isolated-node tokens in row
     // order — the canonical first-seen sequence of both data planes.
     embed::LabelCorpus corpus = embed::BuildLabelCorpus(*graph_, b);
-    word2vec_->Train(corpus, pool_.get());
+    word2vec_->Train(corpus, pool_);
   } else {
     // Hash embedder: no corpus build interns for us, so warm the label-set
     // token cache in the order the unsharded vectorizer would — all batch
@@ -289,7 +318,7 @@ PgHive::PreparedBatch PgHive::PreprocessSharded(pg::GraphBatch batch) {
     prepared.shards[s].shard = std::move(shard_batches[s]);
   }
   util::ParallelFor(
-      pool_.get(), 0, prepared.shards.size(), 1, [&](size_t lo, size_t hi) {
+      pool_, 0, prepared.shards.size(), 1, [&](size_t lo, size_t hi) {
         for (size_t s = lo; s < hi; ++s) {
           PreparedBatch::ShardPrepared& sp = prepared.shards[s];
           sp.vectorizer = std::make_unique<Vectorizer>(
@@ -322,7 +351,7 @@ lsh::ClusterSet PgHive::ClusterNodesSharded(PreparedBatch& prepared) {
     // pool, scatter the T-slot stripes by parent-batch position, and the
     // signature matrix matches the unsharded HashAll bit for bit.
     util::ParallelFor(
-        pool_.get(), 0, num_shards, 1, [&](size_t lo, size_t hi) {
+        pool_, 0, num_shards, 1, [&](size_t lo, size_t hi) {
           for (size_t s = lo; s < hi; ++s) {
             const PreparedBatch::ShardPrepared& sp = prepared.shards[s];
             if (sp.shard.batch.node_ids.empty()) continue;
@@ -335,14 +364,14 @@ lsh::ClusterSet PgHive::ClusterNodesSharded(PreparedBatch& prepared) {
           }
         });
     return params.amplification == lsh::Amplification::kAnd
-               ? lsh::ClusterBySignature(sigs, num, t, pool_.get())
-               : lsh::ClusterByAnyCollision(sigs, num, t, pool_.get());
+               ? lsh::ClusterBySignature(sigs, num, t, pool_)
+               : lsh::ClusterByAnyCollision(sigs, num, t, pool_);
   }
   lsh::MinHashParams params = NodeMinHashParams(features);
   lsh::MinHashLsh hasher(params);
   const size_t t = hasher.params().num_hashes;
   std::vector<uint64_t> sigs(num * t);
-  util::ParallelFor(pool_.get(), 0, num_shards, 1, [&](size_t lo, size_t hi) {
+  util::ParallelFor(pool_, 0, num_shards, 1, [&](size_t lo, size_t hi) {
     for (size_t s = lo; s < hi; ++s) {
       const PreparedBatch::ShardPrepared& sp = prepared.shards[s];
       if (sp.shard.batch.node_ids.empty()) continue;
@@ -362,7 +391,7 @@ lsh::ClusterSet PgHive::ClusterNodesSharded(PreparedBatch& prepared) {
       }
     }
   });
-  return hasher.ClusterFromSignatures(sigs, num, pool_.get());
+  return hasher.ClusterFromSignatures(sigs, num, pool_);
 }
 
 lsh::ClusterSet PgHive::ClusterEdgesSharded(PreparedBatch& prepared) {
@@ -375,7 +404,7 @@ lsh::ClusterSet PgHive::ClusterEdgesSharded(PreparedBatch& prepared) {
     const size_t t = params.num_tables;
     std::vector<uint64_t> sigs(num * t);
     util::ParallelFor(
-        pool_.get(), 0, num_shards, 1, [&](size_t lo, size_t hi) {
+        pool_, 0, num_shards, 1, [&](size_t lo, size_t hi) {
           for (size_t s = lo; s < hi; ++s) {
             const PreparedBatch::ShardPrepared& sp = prepared.shards[s];
             if (sp.shard.batch.edge_ids.empty()) continue;
@@ -388,14 +417,14 @@ lsh::ClusterSet PgHive::ClusterEdgesSharded(PreparedBatch& prepared) {
           }
         });
     return params.amplification == lsh::Amplification::kAnd
-               ? lsh::ClusterBySignature(sigs, num, t, pool_.get())
-               : lsh::ClusterByAnyCollision(sigs, num, t, pool_.get());
+               ? lsh::ClusterBySignature(sigs, num, t, pool_)
+               : lsh::ClusterByAnyCollision(sigs, num, t, pool_);
   }
   lsh::MinHashParams params = EdgeMinHashParams(features);
   lsh::MinHashLsh hasher(params);
   const size_t t = hasher.params().num_hashes;
   std::vector<uint64_t> sigs(num * t);
-  util::ParallelFor(pool_.get(), 0, num_shards, 1, [&](size_t lo, size_t hi) {
+  util::ParallelFor(pool_, 0, num_shards, 1, [&](size_t lo, size_t hi) {
     for (size_t s = lo; s < hi; ++s) {
       const PreparedBatch::ShardPrepared& sp = prepared.shards[s];
       if (sp.shard.batch.edge_ids.empty()) continue;
@@ -415,14 +444,14 @@ lsh::ClusterSet PgHive::ClusterEdgesSharded(PreparedBatch& prepared) {
       }
     }
   });
-  return hasher.ClusterFromSignatures(sigs, num, pool_.get());
+  return hasher.ClusterFromSignatures(sigs, num, pool_);
 }
 
 std::vector<CandidateType> PgHive::ShardedNodeCandidates(
     const PreparedBatch& prepared, const lsh::ClusterSet& clusters) {
   const size_t num_shards = prepared.shards.size();
   std::vector<ShardCandidates> parts(num_shards);
-  util::ParallelFor(pool_.get(), 0, num_shards, 1, [&](size_t lo, size_t hi) {
+  util::ParallelFor(pool_, 0, num_shards, 1, [&](size_t lo, size_t hi) {
     for (size_t s = lo; s < hi; ++s) {
       parts[s] =
           BuildNodeShardCandidates(*graph_, prepared.shards[s].shard, clusters);
@@ -435,7 +464,7 @@ std::vector<CandidateType> PgHive::ShardedEdgeCandidates(
     const PreparedBatch& prepared, const lsh::ClusterSet& clusters) {
   const size_t num_shards = prepared.shards.size();
   std::vector<ShardCandidates> parts(num_shards);
-  util::ParallelFor(pool_.get(), 0, num_shards, 1, [&](size_t lo, size_t hi) {
+  util::ParallelFor(pool_, 0, num_shards, 1, [&](size_t lo, size_t hi) {
     for (size_t s = lo; s < hi; ++s) {
       const PreparedBatch::ShardPrepared& sp = prepared.shards[s];
       // EdgeEndpointTokens is a pure read of the cache EdgeFeatures warmed
@@ -449,6 +478,9 @@ std::vector<CandidateType> PgHive::ShardedEdgeCandidates(
 }
 
 util::Status PgHive::ProcessPrepared(PreparedBatch prepared) {
+  if (phase_ != Phase::kIngesting) {
+    return PhaseError(phase_, "ProcessPrepared()");
+  }
   last_stats_ = PipelineStats{};
   last_stats_.preprocess_ms = prepared.preprocess_ms;
   const pg::GraphBatch& batch = prepared.batch;
@@ -495,9 +527,14 @@ util::Status PgHive::ProcessPrepared(PreparedBatch prepared) {
       node_track();
     } catch (...) {
       // edge_track references stack locals; it must finish before unwinding.
-      edges_done.wait();
+      pool_->HelpWhileWaiting(edges_done);
       throw;
     }
+    // Drain-while-waiting: ProcessBatch may itself be running on a pool
+    // worker (pghived schedules session jobs onto the shared pool), and a
+    // plain get() would deadlock when no other worker is free to take the
+    // edge track.
+    pool_->HelpWhileWaiting(edges_done);
     edges_done.get();
   } else {
     node_track();
@@ -523,7 +560,7 @@ util::Status PgHive::ProcessPrepared(PreparedBatch prepared) {
   if (options_.post_process_each_batch) {
     timer.Reset();
     InferPropertyConstraints(&schema_);
-    InferDataTypes(*graph_, &schema_, options_.datatype_options, pool_.get());
+    InferDataTypes(*graph_, &schema_, options_.datatype_options, pool_);
     ComputeCardinalities(*graph_, &schema_);
     last_stats_.post_process_ms = timer.ElapsedMillis();
   }
@@ -539,19 +576,25 @@ util::Status PgHive::ProcessPrepared(PreparedBatch prepared) {
 }
 
 util::Status PgHive::Finish() {
+  if (phase_ != Phase::kIngesting) return PhaseError(phase_, "Finish()");
   util::Timer timer;
   InferPropertyConstraints(&schema_);
-  InferDataTypes(*graph_, &schema_, options_.datatype_options, pool_.get());
+  InferDataTypes(*graph_, &schema_, options_.datatype_options, pool_);
   ComputeCardinalities(*graph_, &schema_);
   double ms = timer.ElapsedMillis();
   last_stats_.post_process_ms += ms;
   total_stats_.post_process_ms += ms;
+  phase_ = Phase::kFinished;
   return util::Status::Ok();
 }
 
 util::Status PgHive::Run() {
+  if (phase_ != Phase::kIngesting) return PhaseError(phase_, "Run()");
   util::Status status = ProcessBatch(pg::FullBatch(*graph_));
-  if (!status.ok()) return status;
+  if (!status.ok()) {
+    phase_ = Phase::kFailed;
+    return status;
+  }
   return Finish();
 }
 
@@ -563,7 +606,7 @@ std::vector<uint32_t> PgHive::EdgeAssignment() const {
   return schema_.EdgeAssignment(graph_->num_edges());
 }
 
-util::Result<SchemaGraph> DiscoverSchema(pg::PropertyGraph* graph,
+util::StatusOr<SchemaGraph> DiscoverSchema(pg::PropertyGraph* graph,
                                          const PgHiveOptions& options) {
   PgHive pipeline(graph, options);
   util::Status status = pipeline.Run();

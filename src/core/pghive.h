@@ -97,6 +97,12 @@ struct PgHiveOptions {
   size_t num_shards = 1;
 
   uint64_t seed = 42;
+
+  /// The single source of truth for knob constraints: thread/shard/pipeline
+  /// ranges, embedding dimension, thresholds. Called by the CLI parsers, by
+  /// PgHive::Create, and by the pghived session-create path, so every entry
+  /// point rejects the same inputs with the same messages.
+  util::Status Validate() const;
 };
 
 /// Wall-clock breakdown of one batch (drives Figs. 5 and 7).
@@ -125,11 +131,28 @@ struct PipelineStats {
 /// ProcessBatch() for incremental discovery, ending with Finish().
 class PgHive {
  public:
-  PgHive(pg::PropertyGraph* graph, PgHiveOptions options);
+  /// Lifecycle of one hive (the session state machine pghived builds on):
+  /// batches may only be fed while kIngesting; Finish() moves to kFinished,
+  /// after which every mutating call returns FailedPrecondition; a failed
+  /// stage moves to kFailed, which is terminal the same way.
+  enum class Phase { kIngesting, kFinished, kFailed };
+
+  /// `shared_pool` (optional, non-owning, must outlive the hive) runs this
+  /// hive's parallel stages on an external pool instead of a private one —
+  /// how pghived multiplexes many sessions onto one worker pool. When null,
+  /// the hive owns a pool sized by options.num_threads as before.
+  PgHive(pg::PropertyGraph* graph, PgHiveOptions options,
+         util::ThreadPool* shared_pool = nullptr);
   ~PgHive();
 
   PgHive(const PgHive&) = delete;
   PgHive& operator=(const PgHive&) = delete;
+
+  /// Validating factory: rejects a null graph and options that fail
+  /// PgHiveOptions::Validate() instead of aborting in the constructor.
+  static util::StatusOr<std::unique_ptr<PgHive>> Create(
+      pg::PropertyGraph* graph, PgHiveOptions options,
+      util::ThreadPool* shared_pool = nullptr);
 
   /// Static mode: one full batch plus post-processing.
   util::Status Run();
@@ -192,8 +215,15 @@ class PgHive {
   util::Status ProcessPrepared(PreparedBatch prepared);
 
   /// Runs the post-processing passes (constraints, data types,
-  /// cardinalities) on the current schema.
+  /// cardinalities) on the current schema and moves the hive to kFinished:
+  /// afterwards ProcessBatch/ProcessPrepared/Run/Finish all return
+  /// FailedPrecondition.
   util::Status Finish();
+
+  /// Where the hive is in its lifecycle (see Phase).
+  Phase phase() const { return phase_; }
+  /// Batches merged into the schema so far.
+  size_t batches_processed() const { return batches_processed_; }
 
   const SchemaGraph& schema() const { return schema_; }
   SchemaGraph& mutable_schema() { return schema_; }
@@ -210,7 +240,8 @@ class PgHive {
   const PgHiveOptions& options() const { return options_; }
 
   /// The execution pool (null when running serially with num_threads == 1).
-  util::ThreadPool* pool() const { return pool_.get(); }
+  /// Either the shared pool passed at construction or the owned one.
+  util::ThreadPool* pool() const { return pool_; }
 
  private:
   lsh::ClusterSet ClusterNodes(const pg::GraphBatch& batch,
@@ -248,7 +279,8 @@ class PgHive {
 
   pg::PropertyGraph* graph_;
   PgHiveOptions options_;
-  std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  util::ThreadPool* pool_ = nullptr;  // owned_pool_.get() or the shared pool.
   std::unique_ptr<pg::ShardPlan> shard_plan_;  // Non-null iff num_shards > 1.
   // Per-shard pools (num_shards entries, ~num_threads/num_shards workers
   // each; a null entry means that shard works inline on its caller). Empty
@@ -260,11 +292,12 @@ class PgHive {
   PipelineStats last_stats_;
   PipelineStats total_stats_;
   size_t batches_processed_ = 0;
+  Phase phase_ = Phase::kIngesting;
 };
 
 /// One-call convenience wrapper: discover the schema of `graph` with the
 /// given options (static mode).
-util::Result<SchemaGraph> DiscoverSchema(pg::PropertyGraph* graph,
+util::StatusOr<SchemaGraph> DiscoverSchema(pg::PropertyGraph* graph,
                                          const PgHiveOptions& options = {});
 
 }  // namespace pghive::core

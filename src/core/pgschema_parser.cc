@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstring>
+#include <limits>
 
 namespace pghive::core {
 
@@ -13,7 +14,7 @@ class Parser {
   Parser(const std::string& text, pg::Vocabulary* vocab)
       : text_(text), vocab_(vocab) {}
 
-  util::Result<SchemaGraph> Parse() {
+  util::StatusOr<SchemaGraph> Parse() {
     SkipSpace();
     if (!ConsumeWord("CREATE") || !ConsumeWord("GRAPH") ||
         !ConsumeWord("TYPE")) {
@@ -202,6 +203,31 @@ class Parser {
         if (c == "N:1") edge.cardinality.kind = CardinalityKind::kManyToOne;
         if (c == "1:N") edge.cardinality.kind = CardinalityKind::kOneToMany;
         if (c == "M:N") edge.cardinality.kind = CardinalityKind::kManyToMany;
+        // The text only records the class, not the observed maxima — restore
+        // the bounds the class implies ("1" sides cap at one, "N"/"M" sides
+        // are unbounded) so STRICT validation of a parsed schema enforces
+        // the declared class instead of the zero-initialized maxima.
+        constexpr size_t kUnbounded = std::numeric_limits<size_t>::max();
+        switch (edge.cardinality.kind) {
+          case CardinalityKind::kOneToOne:
+            edge.cardinality.max_out = 1;
+            edge.cardinality.max_in = 1;
+            break;
+          case CardinalityKind::kManyToOne:  // Many sources per target.
+            edge.cardinality.max_out = 1;
+            edge.cardinality.max_in = kUnbounded;
+            break;
+          case CardinalityKind::kOneToMany:  // Many targets per source.
+            edge.cardinality.max_out = kUnbounded;
+            edge.cardinality.max_in = 1;
+            break;
+          case CardinalityKind::kManyToMany:
+            edge.cardinality.max_out = kUnbounded;
+            edge.cardinality.max_in = kUnbounded;
+            break;
+          case CardinalityKind::kUnknown:
+            break;
+        }
       }
       schema->edge_types().push_back(std::move(edge));
       return util::Status::Ok();
@@ -232,7 +258,7 @@ class Parser {
 
 }  // namespace
 
-util::Result<SchemaGraph> ParsePgSchema(const std::string& text,
+util::StatusOr<SchemaGraph> ParsePgSchema(const std::string& text,
                                         pg::Vocabulary* vocab) {
   PGHIVE_CHECK(vocab != nullptr);
   Parser parser(text, vocab);

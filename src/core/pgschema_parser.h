@@ -18,7 +18,7 @@ namespace pghive::core {
 /// absent from the text form; parsed types carry counts of 0/1 chosen so
 /// that MANDATORY/OPTIONAL round-trips through InferPropertyConstraints
 /// (count == instance_count == 1 for mandatory, count == 0 for optional).
-util::Result<SchemaGraph> ParsePgSchema(const std::string& text,
+util::StatusOr<SchemaGraph> ParsePgSchema(const std::string& text,
                                         pg::Vocabulary* vocab);
 
 }  // namespace pghive::core

@@ -202,4 +202,232 @@ std::string DescribeSchema(const SchemaGraph& schema,
   return out.str();
 }
 
+namespace {
+
+// --- Binary schema snapshot ------------------------------------------------
+//
+// Everything is little-endian and length-prefixed; there are no implicit
+// sizes, so a reader can validate the payload before building any structure.
+
+constexpr char kBinaryMagic[4] = {'P', 'G', 'H', 'B'};
+constexpr uint32_t kBinaryVersion = 1;
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+/// Sequential little-endian reader over the payload. Every Read* checks
+/// remaining bytes; the first failure latches into `ok` so callers can
+/// string reads together and test once.
+struct BinaryReader {
+  const std::string& bytes;
+  size_t pos = 0;
+  bool ok = true;
+
+  bool Has(size_t n) {
+    if (!ok || bytes.size() - pos < n) ok = false;
+    return ok;
+  }
+  uint8_t ReadU8() {
+    if (!Has(1)) return 0;
+    return static_cast<uint8_t>(bytes[pos++]);
+  }
+  uint32_t ReadU32() {
+    if (!Has(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[pos++])) << (8 * i);
+    }
+    return v;
+  }
+  uint64_t ReadU64() {
+    if (!Has(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[pos++])) << (8 * i);
+    }
+    return v;
+  }
+};
+
+void PutU32Vector(std::string* out, const std::vector<uint32_t>& v) {
+  PutU64(out, v.size());
+  for (uint32_t x : v) PutU32(out, x);
+}
+
+void PutU64Vector(std::string* out, const std::vector<uint64_t>& v) {
+  PutU64(out, v.size());
+  for (uint64_t x : v) PutU64(out, x);
+}
+
+void PutU64Set(std::string* out, const std::set<uint64_t>& v) {
+  PutU64(out, v.size());
+  for (uint64_t x : v) PutU64(out, x);
+}
+
+void PutProperties(std::string* out,
+                   const std::map<pg::PropKeyId, PropertyInfo>& props) {
+  PutU64(out, props.size());
+  for (const auto& [key, info] : props) {
+    PutU32(out, key);
+    PutU64(out, info.count);
+    PutU8(out, static_cast<uint8_t>(info.data_type));
+    PutU8(out, info.requiredness == Requiredness::kMandatory ? 1 : 0);
+  }
+}
+
+/// Bounds a length prefix: a valid count can never exceed the payload size,
+/// so this also blocks n*width overflow before any reserve().
+bool SaneCount(BinaryReader* in, uint64_t n, uint64_t width) {
+  if (n > in->bytes.size() || !in->Has(n * width)) {
+    in->ok = false;
+    return false;
+  }
+  return true;
+}
+
+bool ReadU32Vector(BinaryReader* in, std::vector<uint32_t>* v) {
+  uint64_t n = in->ReadU64();
+  if (!SaneCount(in, n, 4)) return false;
+  v->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) v->push_back(in->ReadU32());
+  return in->ok;
+}
+
+bool ReadU64Vector(BinaryReader* in, std::vector<uint64_t>* v) {
+  uint64_t n = in->ReadU64();
+  if (!SaneCount(in, n, 8)) return false;
+  v->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) v->push_back(in->ReadU64());
+  return in->ok;
+}
+
+bool ReadU64Set(BinaryReader* in, std::set<uint64_t>* v) {
+  uint64_t n = in->ReadU64();
+  if (!SaneCount(in, n, 8)) return false;
+  for (uint64_t i = 0; i < n; ++i) v->insert(in->ReadU64());
+  return in->ok;
+}
+
+bool ReadProperties(BinaryReader* in,
+                    std::map<pg::PropKeyId, PropertyInfo>* props) {
+  uint64_t n = in->ReadU64();
+  if (!SaneCount(in, n, 14)) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    pg::PropKeyId key = in->ReadU32();
+    PropertyInfo info;
+    info.count = in->ReadU64();
+    uint8_t type = in->ReadU8();
+    if (type > static_cast<uint8_t>(pg::DataType::kString)) return false;
+    info.data_type = static_cast<pg::DataType>(type);
+    info.requiredness =
+        in->ReadU8() != 0 ? Requiredness::kMandatory : Requiredness::kOptional;
+    (*props)[key] = info;
+  }
+  return in->ok;
+}
+
+}  // namespace
+
+std::string SerializeSchemaBinary(const SchemaGraph& schema) {
+  std::string out;
+  out.append(kBinaryMagic, sizeof(kBinaryMagic));
+  PutU32(&out, kBinaryVersion);
+  PutU64(&out, schema.num_node_types());
+  PutU64(&out, schema.num_edge_types());
+  for (const NodeType& t : schema.node_types()) {
+    PutU32Vector(&out, t.labels);
+    PutProperties(&out, t.properties);
+    PutU64Vector(&out, t.instances);
+    PutU64(&out, t.instance_count);
+    PutU64Set(&out, t.pattern_hashes);
+  }
+  for (const EdgeType& t : schema.edge_types()) {
+    PutU32Vector(&out, t.labels);
+    PutProperties(&out, t.properties);
+    PutU64Vector(&out, t.instances);
+    PutU64(&out, t.instance_count);
+    PutU64Set(&out, t.pattern_hashes);
+    PutU64(&out, t.endpoints.size());
+    for (const auto& [src, dst] : t.endpoints) {
+      PutU32(&out, src);
+      PutU32(&out, dst);
+    }
+    PutU64(&out, t.cardinality.max_out);
+    PutU64(&out, t.cardinality.max_in);
+    PutU8(&out, static_cast<uint8_t>(t.cardinality.kind));
+  }
+  return out;
+}
+
+util::StatusOr<SchemaGraph> ParseSchemaBinary(const std::string& bytes) {
+  BinaryReader in{bytes};
+  if (!in.Has(sizeof(kBinaryMagic)) ||
+      bytes.compare(0, sizeof(kBinaryMagic), kBinaryMagic,
+                    sizeof(kBinaryMagic)) != 0) {
+    return util::Status::ParseError("schema binary: bad magic");
+  }
+  in.pos = sizeof(kBinaryMagic);
+  uint32_t version = in.ReadU32();
+  if (version != kBinaryVersion) {
+    return util::Status::ParseError("schema binary: unsupported version " +
+                                    std::to_string(version));
+  }
+  uint64_t num_node_types = in.ReadU64();
+  uint64_t num_edge_types = in.ReadU64();
+  SchemaGraph schema;
+  for (uint64_t i = 0; i < num_node_types && in.ok; ++i) {
+    NodeType t;
+    bool fields_ok = ReadU32Vector(&in, &t.labels) &&
+                     ReadProperties(&in, &t.properties) &&
+                     ReadU64Vector(&in, &t.instances);
+    t.instance_count = in.ReadU64();
+    fields_ok = fields_ok && ReadU64Set(&in, &t.pattern_hashes);
+    if (!fields_ok || !in.ok) break;
+    schema.node_types().push_back(std::move(t));
+  }
+  for (uint64_t i = 0; i < num_edge_types && in.ok; ++i) {
+    EdgeType t;
+    bool fields_ok = ReadU32Vector(&in, &t.labels) &&
+                     ReadProperties(&in, &t.properties) &&
+                     ReadU64Vector(&in, &t.instances);
+    t.instance_count = in.ReadU64();
+    fields_ok = fields_ok && ReadU64Set(&in, &t.pattern_hashes);
+    uint64_t num_endpoints = in.ReadU64();
+    fields_ok = fields_ok && SaneCount(&in, num_endpoints, 8);
+    for (uint64_t e = 0; e < num_endpoints && in.ok; ++e) {
+      uint32_t src = in.ReadU32();
+      uint32_t dst = in.ReadU32();
+      t.endpoints.emplace(src, dst);
+    }
+    t.cardinality.max_out = in.ReadU64();
+    t.cardinality.max_in = in.ReadU64();
+    uint8_t kind = in.ReadU8();
+    if (kind > static_cast<uint8_t>(CardinalityKind::kManyToMany)) {
+      return util::Status::ParseError("schema binary: bad cardinality kind");
+    }
+    t.cardinality.kind = static_cast<CardinalityKind>(kind);
+    if (!fields_ok || !in.ok) break;
+    schema.edge_types().push_back(std::move(t));
+  }
+  if (!in.ok || schema.num_node_types() != num_node_types ||
+      schema.num_edge_types() != num_edge_types || in.pos != bytes.size()) {
+    return util::Status::ParseError(
+        "schema binary: truncated or trailing payload");
+  }
+  return schema;
+}
+
 }  // namespace pghive::core

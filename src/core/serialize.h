@@ -5,6 +5,7 @@
 
 #include "core/schema.h"
 #include "pg/vocabulary.h"
+#include "util/status.h"
 
 namespace pghive::core {
 
@@ -37,6 +38,19 @@ std::string DescribeSchema(const SchemaGraph& schema,
 
 /// Maps a DataType to its XSD builtin ("xs:string", "xs:long", ...).
 const char* XsdTypeName(pg::DataType t);
+
+/// Serializes the full SchemaGraph — including evidence the text renderings
+/// drop (instance ids, pattern hashes, endpoint tokens, cardinality bounds) —
+/// into a self-describing little-endian byte string. This is the snapshot
+/// seam for pghived: a session copies the schema under its job lane with
+/// these bytes, and readers reconstruct an independent SchemaGraph without
+/// touching the (still-mutating) vocabulary or hive. Format: "PGHB" magic,
+/// u32 version, then length-prefixed type records.
+std::string SerializeSchemaBinary(const SchemaGraph& schema);
+
+/// Inverse of SerializeSchemaBinary. Rejects bad magic, unknown versions,
+/// and truncated payloads with ParseError; a round trip is lossless.
+util::StatusOr<SchemaGraph> ParseSchemaBinary(const std::string& bytes);
 
 }  // namespace pghive::core
 

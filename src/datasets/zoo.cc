@@ -626,7 +626,7 @@ std::vector<DatasetSpec> Zoo() {
           IcijSpec(),  Cord19Spec(), LdbcSpec(),  IypSpec()};
 }
 
-util::Result<DatasetSpec> ZooDataset(const std::string& name) {
+util::StatusOr<DatasetSpec> ZooDataset(const std::string& name) {
   for (DatasetSpec& spec : Zoo()) {
     if (spec.name == name) return spec;
   }

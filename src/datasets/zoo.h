@@ -18,7 +18,7 @@ namespace pghive::datasets {
 std::vector<DatasetSpec> Zoo();
 
 /// A single dataset by name ("POLE", "MB6", ...). NotFound on bad names.
-util::Result<DatasetSpec> ZooDataset(const std::string& name);
+util::StatusOr<DatasetSpec> ZooDataset(const std::string& name);
 
 /// Individual specs (exposed for targeted tests and examples).
 DatasetSpec PoleSpec();     ///< Crime investigation; 11 flat types.

@@ -19,7 +19,7 @@ std::string ToLower(std::string s) {
   return s;
 }
 
-util::Result<std::vector<Column>> ParseHeader(
+util::StatusOr<std::vector<Column>> ParseHeader(
     const std::vector<std::string>& header) {
   std::vector<Column> columns;
   for (const std::string& raw : header) {

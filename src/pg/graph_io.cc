@@ -5,8 +5,6 @@
 
 namespace pghive::pg {
 
-namespace {
-
 // Property strings are escaped so ';' '=' '\n' and '\\' survive round trips.
 std::string EscapeField(const std::string& s) {
   std::string out;
@@ -61,6 +59,8 @@ std::string UnescapeField(const std::string& s) {
   return out;
 }
 
+namespace {
+
 std::string LabelField(const Vocabulary& vocab,
                        const std::vector<LabelId>& labels) {
   if (labels.empty()) return "-";
@@ -114,19 +114,76 @@ Value ParseValue(const std::string& s) {
   return Value(s);
 }
 
+std::vector<std::string> ParseLabelsField(const std::string& field) {
+  std::vector<std::string> labels;
+  if (field == "-") return labels;
+  for (const std::string& l : SplitOn(field, '|')) {
+    if (!l.empty()) labels.push_back(UnescapeField(l));
+  }
+  return labels;
+}
+
+void ParsePropsField(const std::string& field, ElementRecord* record) {
+  if (field.empty()) return;
+  for (const std::string& pair : SplitOn(field, ';')) {
+    if (pair.empty()) continue;
+    auto kv = SplitOn(pair, '=');
+    if (kv.size() != 2) continue;
+    record->properties.emplace_back(UnescapeField(kv[0]),
+                                    ParseValue(UnescapeField(kv[1])));
+  }
+}
+
 }  // namespace
+
+util::StatusOr<ElementRecord> ParseElementLine(const std::string& line) {
+  std::istringstream ls(line);
+  std::string kind;
+  ls >> kind;
+  ElementRecord record;
+  std::string label_field, prop_field;
+  if (kind == "N") {
+    if (!(ls >> record.id >> label_field)) {
+      return util::Status::ParseError("bad node line: " + line);
+    }
+  } else if (kind == "E") {
+    record.is_edge = true;
+    if (!(ls >> record.id >> record.src >> record.dst >> label_field)) {
+      return util::Status::ParseError("bad edge line: " + line);
+    }
+  } else {
+    return util::Status::ParseError("unknown record '" + kind + "'");
+  }
+  ls >> prop_field;
+  record.labels = ParseLabelsField(label_field);
+  ParsePropsField(prop_field, &record);
+  return record;
+}
+
+std::string FormatNodeLine(const PropertyGraph& graph, const Node& node) {
+  const Vocabulary& vocab = graph.vocab();
+  std::ostringstream out;
+  out << "N " << node.id << ' ' << LabelField(vocab, node.labels) << ' '
+      << PropsField(vocab, node.properties);
+  return out.str();
+}
+
+std::string FormatEdgeLine(const PropertyGraph& graph, const Edge& edge) {
+  const Vocabulary& vocab = graph.vocab();
+  std::ostringstream out;
+  out << "E " << edge.id << ' ' << edge.src << ' ' << edge.dst << ' '
+      << LabelField(vocab, edge.labels) << ' '
+      << PropsField(vocab, edge.properties);
+  return out.str();
+}
 
 std::string SaveGraphText(const PropertyGraph& graph) {
   std::ostringstream out;
-  const Vocabulary& vocab = graph.vocab();
   for (const Node& n : graph.nodes()) {
-    out << "N " << n.id << ' ' << LabelField(vocab, n.labels) << ' '
-        << PropsField(vocab, n.properties) << '\n';
+    out << FormatNodeLine(graph, n) << '\n';
   }
   for (const Edge& e : graph.edges()) {
-    out << "E " << e.id << ' ' << e.src << ' ' << e.dst << ' '
-        << LabelField(vocab, e.labels) << ' ' << PropsField(vocab, e.properties)
-        << '\n';
+    out << FormatEdgeLine(graph, e) << '\n';
   }
   return out.str();
 }
@@ -140,7 +197,7 @@ util::Status SaveGraphFile(const PropertyGraph& graph,
   return util::Status::Ok();
 }
 
-util::Result<PropertyGraph> LoadGraphText(const std::string& text) {
+util::StatusOr<PropertyGraph> LoadGraphText(const std::string& text) {
   PropertyGraph graph;
   std::istringstream in(text);
   std::string line;
@@ -148,74 +205,40 @@ util::Result<PropertyGraph> LoadGraphText(const std::string& text) {
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::string kind;
-    ls >> kind;
-    auto parse_props = [&](bool is_node, uint64_t id,
-                           const std::string& field) {
-      if (field.empty()) return;
-      for (const std::string& pair : SplitOn(field, ';')) {
-        if (pair.empty()) continue;
-        auto kv = SplitOn(pair, '=');
-        if (kv.size() != 2) continue;
-        std::string key = UnescapeField(kv[0]);
-        Value value = ParseValue(UnescapeField(kv[1]));
-        if (is_node) {
-          graph.SetNodeProperty(id, key, std::move(value));
-        } else {
-          graph.SetEdgeProperty(id, key, std::move(value));
-        }
-      }
-    };
-    auto parse_labels = [&](const std::string& field) {
-      std::vector<std::string> labels;
-      if (field == "-") return labels;
-      for (const std::string& l : SplitOn(field, '|')) {
-        if (!l.empty()) labels.push_back(UnescapeField(l));
-      }
-      return labels;
-    };
-    if (kind == "N") {
-      uint64_t id;
-      std::string label_field, prop_field;
-      if (!(ls >> id >> label_field)) {
-        return util::Status::ParseError("bad node line " +
-                                        std::to_string(line_no));
-      }
-      ls >> prop_field;
-      NodeId nid = graph.AddNode(parse_labels(label_field));
-      if (nid != id) {
+    auto parsed = ParseElementLine(line);
+    if (!parsed.ok()) {
+      return util::Status::ParseError(parsed.status().message() + ", line " +
+                                      std::to_string(line_no));
+    }
+    const ElementRecord& record = *parsed;
+    if (!record.is_edge) {
+      NodeId nid = graph.AddNode(record.labels);
+      if (nid != record.id) {
         return util::Status::ParseError("node ids must be dense, line " +
                                         std::to_string(line_no));
       }
-      parse_props(true, nid, prop_field);
-    } else if (kind == "E") {
-      uint64_t id, src, dst;
-      std::string label_field, prop_field;
-      if (!(ls >> id >> src >> dst >> label_field)) {
-        return util::Status::ParseError("bad edge line " +
-                                        std::to_string(line_no));
+      for (const auto& [key, value] : record.properties) {
+        graph.SetNodeProperty(nid, key, value);
       }
-      ls >> prop_field;
-      if (src >= graph.num_nodes() || dst >= graph.num_nodes()) {
+    } else {
+      if (record.src >= graph.num_nodes() || record.dst >= graph.num_nodes()) {
         return util::Status::ParseError("edge endpoint out of range, line " +
                                         std::to_string(line_no));
       }
-      EdgeId eid = graph.AddEdge(src, dst, parse_labels(label_field));
-      if (eid != id) {
+      EdgeId eid = graph.AddEdge(record.src, record.dst, record.labels);
+      if (eid != record.id) {
         return util::Status::ParseError("edge ids must be dense, line " +
                                         std::to_string(line_no));
       }
-      parse_props(false, eid, prop_field);
-    } else {
-      return util::Status::ParseError("unknown record '" + kind + "' line " +
-                                      std::to_string(line_no));
+      for (const auto& [key, value] : record.properties) {
+        graph.SetEdgeProperty(eid, key, value);
+      }
     }
   }
   return graph;
 }
 
-util::Result<PropertyGraph> LoadGraphFile(const std::string& path) {
+util::StatusOr<PropertyGraph> LoadGraphFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return util::Status::IoError("cannot open " + path);
   std::ostringstream buf;

@@ -2,11 +2,41 @@
 #define PGHIVE_PG_GRAPH_IO_H_
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "pg/graph.h"
 #include "util/status.h"
 
 namespace pghive::pg {
+
+/// One parsed graph-text record — a node or edge line detached from any
+/// PropertyGraph, so stream consumers (pghived ingest) can route records
+/// before materializing them. Labels and property keys stay as strings;
+/// interning happens when the record is applied to a graph.
+struct ElementRecord {
+  bool is_edge = false;
+  uint64_t id = 0;
+  uint64_t src = 0;  ///< Edges only.
+  uint64_t dst = 0;  ///< Edges only.
+  std::vector<std::string> labels;
+  std::vector<std::pair<std::string, Value>> properties;  ///< Line order.
+};
+
+/// Parses one "N ..." or "E ..." line of the SaveGraphText format. The
+/// leading record kind must already be stripped of surrounding whitespace;
+/// blank lines and '#' comments are the caller's concern.
+util::StatusOr<ElementRecord> ParseElementLine(const std::string& line);
+
+/// Renders one node / edge of `graph` as its graph-text line (no trailing
+/// newline) — the record-level inverse of ParseElementLine.
+std::string FormatNodeLine(const PropertyGraph& graph, const Node& node);
+std::string FormatEdgeLine(const PropertyGraph& graph, const Edge& edge);
+
+/// Escaping used for label and property fields: '\\' ';' '=' '\n' become
+/// "\\\\" "\\s" "\\e" "\\n" so records survive line-oriented transports.
+std::string EscapeField(const std::string& s);
+std::string UnescapeField(const std::string& s);
 
 /// Serializes a property graph to a simple line-oriented text format
 /// (one record per line) that round-trips through LoadGraphText:
@@ -23,10 +53,10 @@ util::Status SaveGraphFile(const PropertyGraph& graph,
                            const std::string& path);
 
 /// Parses the SaveGraphText format.
-util::Result<PropertyGraph> LoadGraphText(const std::string& text);
+util::StatusOr<PropertyGraph> LoadGraphText(const std::string& text);
 
 /// Reads a file written by SaveGraphFile.
-util::Result<PropertyGraph> LoadGraphFile(const std::string& path);
+util::StatusOr<PropertyGraph> LoadGraphFile(const std::string& path);
 
 }  // namespace pghive::pg
 

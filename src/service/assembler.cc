@@ -1,0 +1,212 @@
+#include "service/assembler.h"
+
+#include <sstream>
+#include <utility>
+
+#include "pg/graph_io.h"
+#include "util/parse.h"
+
+namespace pghive::service {
+
+namespace {
+
+util::StatusOr<uint64_t> ParseId(const std::string& text,
+                                 const std::string& what) {
+  auto parsed = util::ParseInt64(text);
+  if (!parsed.ok() || *parsed < 0) {
+    return util::Status::ParseError("bad " + what + " '" + text + "'");
+  }
+  return static_cast<uint64_t>(*parsed);
+}
+
+}  // namespace
+
+util::Status GraphAssembler::ApplyPayload(const std::string& payload,
+                                          pg::GraphBatch* batch) {
+  std::istringstream in(payload);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    util::Status status = ApplyLine(line, batch);
+    if (!status.ok()) return status;
+  }
+  return util::Status::Ok();
+}
+
+util::Status GraphAssembler::ApplyLine(const std::string& line,
+                                       pg::GraphBatch* batch) {
+  switch (line[0]) {
+    case 'G':
+      return ApplyHeader(line);
+    case 'V':
+      return ApplyVocab(line);
+    case 'N':
+      return MaterializeNode(line, /*member=*/true, batch);
+    case 'R':
+      return MaterializeNode(line, /*member=*/false, batch);
+    case 'M': {
+      if (line.size() < 3 || line[1] != ' ') {
+        return util::Status::ParseError("bad member line '" + line + "'");
+      }
+      auto id = ParseId(line.substr(2), "member id");
+      if (!id.ok()) return id.status();
+      if (*id >= node_filled_.size() || !node_filled_[*id]) {
+        return util::Status::ParseError(
+            "member marker for unmaterialized node " + std::to_string(*id));
+      }
+      batch->node_ids.push_back(*id);
+      return util::Status::Ok();
+    }
+    case 'E':
+      return MaterializeEdge(line, batch);
+    default:
+      return util::Status::ParseError("unknown ingest record '" + line + "'");
+  }
+}
+
+util::Status GraphAssembler::ApplyHeader(const std::string& line) {
+  if (sized_) {
+    return util::Status::FailedPrecondition("duplicate G header");
+  }
+  if (graph_->num_nodes() != 0 || graph_->num_edges() != 0) {
+    return util::Status::FailedPrecondition("G header on a non-empty graph");
+  }
+  std::istringstream ls(line);
+  std::string kind;
+  uint64_t num_nodes = 0, num_edges = 0;
+  if (!(ls >> kind >> num_nodes) || kind != "G") {
+    return util::Status::ParseError("bad G header '" + line + "'");
+  }
+  ls >> num_edges;
+  if (num_edges > 0 && num_nodes == 0) {
+    return util::Status::ParseError("edges declared on a node-less graph");
+  }
+  // Placeholders give the graph its final shape up front: dense ids and the
+  // same num_nodes()/num_edges() the one-shot run sees from batch 1 on.
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    graph_->AddNodeWithLabelIds({});
+  }
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    graph_->AddEdgeWithLabelIds(0, 0, {});
+  }
+  node_filled_.assign(num_nodes, false);
+  edge_filled_.assign(num_edges, false);
+  sized_ = true;
+  return util::Status::Ok();
+}
+
+util::Status GraphAssembler::ApplyVocab(const std::string& line) {
+  // "V L <name>" / "V K <name>"; the name is the rest of the line, unescaped,
+  // so label names with spaces survive.
+  if (line.size() < 5 || line[1] != ' ' || line[3] != ' ' ||
+      (line[2] != 'L' && line[2] != 'K')) {
+    return util::Status::ParseError("bad vocab line '" + line + "'");
+  }
+  const std::string name = pg::UnescapeField(line.substr(4));
+  if (line[2] == 'L') {
+    graph_->vocab().InternLabel(name);
+  } else {
+    graph_->vocab().InternKey(name);
+  }
+  return util::Status::Ok();
+}
+
+util::Status GraphAssembler::MaterializeNode(const std::string& line,
+                                             bool member,
+                                             pg::GraphBatch* batch) {
+  if (!sized_) {
+    return util::Status::FailedPrecondition(
+        "node record before the G header");
+  }
+  // R lines share the node-line shape; normalize the tag for the parser.
+  std::string node_line = line;
+  node_line[0] = 'N';
+  auto parsed = pg::ParseElementLine(node_line);
+  if (!parsed.ok()) return parsed.status();
+  const pg::ElementRecord& record = *parsed;
+  if (record.id >= node_filled_.size()) {
+    return util::Status::OutOfRange("node id " + std::to_string(record.id) +
+                                    " outside the declared graph");
+  }
+  if (node_filled_[record.id]) {
+    return util::Status::FailedPrecondition(
+        "node " + std::to_string(record.id) + " materialized twice");
+  }
+  std::vector<pg::LabelId> labels;
+  labels.reserve(record.labels.size());
+  for (const std::string& name : record.labels) {
+    labels.push_back(graph_->vocab().InternLabel(name));
+  }
+  pg::NormalizeLabels(&labels);
+  graph_->node(record.id).labels = std::move(labels);
+  for (const auto& [key, value] : record.properties) {
+    graph_->SetNodeProperty(record.id, key, value);
+  }
+  node_filled_[record.id] = true;
+  ++nodes_filled_;
+  if (member) batch->node_ids.push_back(record.id);
+  return util::Status::Ok();
+}
+
+util::Status GraphAssembler::MaterializeEdge(const std::string& line,
+                                             pg::GraphBatch* batch) {
+  if (!sized_) {
+    return util::Status::FailedPrecondition(
+        "edge record before the G header");
+  }
+  auto parsed = pg::ParseElementLine(line);
+  if (!parsed.ok()) return parsed.status();
+  const pg::ElementRecord& record = *parsed;
+  if (record.id >= edge_filled_.size()) {
+    return util::Status::OutOfRange("edge id " + std::to_string(record.id) +
+                                    " outside the declared graph");
+  }
+  if (edge_filled_[record.id]) {
+    return util::Status::FailedPrecondition(
+        "edge " + std::to_string(record.id) + " materialized twice");
+  }
+  if (record.src >= node_filled_.size() || record.dst >= node_filled_.size()) {
+    return util::Status::OutOfRange("edge endpoint outside the graph");
+  }
+  if (!node_filled_[record.src] || !node_filled_[record.dst]) {
+    // Discovery embeds endpoint labels when it processes the edge, so an
+    // unmaterialized endpoint would silently change the schema. The client
+    // always sends R records first; reaching this means a broken client.
+    return util::Status::FailedPrecondition(
+        "edge " + std::to_string(record.id) +
+        " references an unmaterialized endpoint");
+  }
+  std::vector<pg::LabelId> labels;
+  labels.reserve(record.labels.size());
+  for (const std::string& name : record.labels) {
+    labels.push_back(graph_->vocab().InternLabel(name));
+  }
+  pg::NormalizeLabels(&labels);
+  pg::Edge& edge = graph_->edge(record.id);
+  edge.src = record.src;
+  edge.dst = record.dst;
+  edge.labels = std::move(labels);
+  for (const auto& [key, value] : record.properties) {
+    graph_->SetEdgeProperty(record.id, key, value);
+  }
+  edge_filled_[record.id] = true;
+  ++edges_filled_;
+  batch->edge_ids.push_back(record.id);
+  return util::Status::Ok();
+}
+
+util::Status GraphAssembler::CheckComplete() const {
+  if (!sized_) {
+    return util::Status::FailedPrecondition("no batches were ingested");
+  }
+  if (nodes_filled_ != node_filled_.size() ||
+      edges_filled_ != edge_filled_.size()) {
+    return util::Status::FailedPrecondition(
+        "stream ended with unmaterialized elements: " +
+        std::to_string(node_filled_.size() - nodes_filled_) + " nodes, " +
+        std::to_string(edge_filled_.size() - edges_filled_) + " edges");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace pghive::service

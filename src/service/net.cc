@@ -1,0 +1,157 @@
+#include "service/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace pghive::service {
+
+namespace {
+
+util::Status Errno(const std::string& what) {
+  return util::Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+util::StatusOr<int> ListenTcp(uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    util::Status status = Errno("bind 127.0.0.1:" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) != 0) {
+    util::Status status = Errno("listen");
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+util::StatusOr<uint16_t> BoundPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+util::StatusOr<int> ConnectTcp(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    util::Status status = Errno("connect 127.0.0.1:" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+SocketStream& SocketStream::operator=(SocketStream&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void SocketStream::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool SocketStream::Fill(util::Status* status) {
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      return true;
+    }
+    if (n == 0) {
+      *status = util::Status::NotFound("connection closed");
+      return false;
+    }
+    if (errno == EINTR) continue;
+    *status = Errno("recv");
+    return false;
+  }
+}
+
+util::StatusOr<std::string> SocketStream::ReadLine() {
+  if (fd_ < 0) return util::Status::NotFound("connection closed");
+  for (;;) {
+    size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    util::Status status;
+    if (!Fill(&status)) {
+      // Bytes without a final newline count as a (last) line.
+      if (status.code() == util::StatusCode::kNotFound && !buffer_.empty()) {
+        std::string line = std::move(buffer_);
+        buffer_.clear();
+        return line;
+      }
+      return status;
+    }
+  }
+}
+
+util::Status SocketStream::ReadExact(size_t n, std::string* out) {
+  if (fd_ < 0) return util::Status::NotFound("connection closed");
+  while (buffer_.size() < n) {
+    util::Status status;
+    if (!Fill(&status)) return status;
+  }
+  *out = buffer_.substr(0, n);
+  buffer_.erase(0, n);
+  return util::Status::Ok();
+}
+
+util::Status SocketStream::WriteAll(std::string_view data) {
+  if (fd_ < 0) return util::Status::IoError("write on a closed socket");
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace pghive::service

@@ -1,0 +1,86 @@
+#ifndef PGHIVE_SERVICE_PROTOCOL_H_
+#define PGHIVE_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/session_manager.h"
+#include "util/status.h"
+
+namespace pghive::service {
+
+/// The pghived wire protocol: line-delimited requests, optionally followed
+/// by a byte-counted body. Small enough to drive with netcat, structured
+/// enough to frame binary schema payloads.
+///
+/// Requests (one line, space-separated tokens; <n> counts body bytes that
+/// follow the newline):
+///
+///   ping
+///   create-session [key=value ...]      knobs as in `pghive discover`
+///   ingest-batch <session> <n>  + body  one ingest payload (see assembler)
+///   get-schema <session> <form> [snapshot]
+///       form: pgs | pgs-loose | xsd | describe | binary
+///       default waits for the stream to finish (enqueues Finish once) and
+///       returns the final schema; `snapshot` returns the latest published
+///       snapshot immediately without draining the session's lane.
+///   validate <session> <strict|loose> <n>  + body (a PG-Schema text)
+///   close <session>
+///
+/// Responses:
+///
+///   OK <tokens...>                          e.g. "OK session s1", "OK batch 3"
+///   OK <tokens...> body <n>\n<n bytes>\n    body-carrying variants
+///   ERR <CODE> <escaped message>            code from util::StatusCodeName;
+///                                           message escaped like pg fields
+struct Request {
+  std::string command;
+  std::vector<std::string> args;  ///< Tokens after the command.
+  std::string body;               ///< Filled by the transport when expected.
+};
+
+struct Response {
+  util::Status status;     ///< Non-OK renders as an ERR line.
+  std::string info;        ///< OK tokens ("session s1", "pong", ...).
+  bool has_body = false;
+  std::string body;
+};
+
+/// Splits a request line into command + args. Empty lines are invalid.
+util::StatusOr<Request> ParseRequestLine(const std::string& line);
+
+/// Body bytes the transport must read after the request line (0 for
+/// body-less commands). Fails on a malformed or oversized count.
+util::StatusOr<size_t> RequestBodyBytes(const Request& request);
+
+/// Renders a response to wire form (including the trailing newline(s)).
+std::string FormatResponse(const Response& response);
+
+/// Parses the first response line (without newline) into `response`; for
+/// body-carrying responses sets has_body and returns the byte count via
+/// `body_bytes` so the transport can read the remainder.
+util::Status ParseResponseLine(const std::string& line, Response* response,
+                               size_t* body_bytes);
+
+/// Executes requests against a SessionManager. Transport-independent: the
+/// TCP server, tests, and any future transport all dispatch through here.
+class RequestHandler {
+ public:
+  explicit RequestHandler(SessionManager* manager) : manager_(manager) {}
+
+  Response Handle(const Request& request);
+
+ private:
+  Response HandleCreateSession(const Request& request);
+  Response HandleIngestBatch(const Request& request);
+  Response HandleGetSchema(const Request& request);
+  Response HandleValidate(const Request& request);
+  Response HandleClose(const Request& request);
+
+  SessionManager* manager_;
+};
+
+}  // namespace pghive::service
+
+#endif  // PGHIVE_SERVICE_PROTOCOL_H_

@@ -1,0 +1,114 @@
+#include "service/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "service/net.h"
+
+namespace pghive::service {
+
+PghivedServer::PghivedServer(Options options)
+    : options_(options),
+      pool_(options.threads),
+      manager_(&pool_, SessionManager::Options{options.max_sessions}),
+      handler_(&manager_) {}
+
+PghivedServer::~PghivedServer() { Stop(); }
+
+util::Status PghivedServer::Start() {
+  auto listen_fd = ListenTcp(options_.port);
+  if (!listen_fd.ok()) return listen_fd.status();
+  listen_fd_ = *listen_fd;
+  auto port = BoundPort(listen_fd_);
+  if (!port.ok()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return port.status();
+  }
+  port_ = *port;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return util::Status::Ok();
+}
+
+void PghivedServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      continue;  // EINTR or a transient accept failure.
+    }
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void PghivedServer::ServeConnection(int fd) {
+  SocketStream stream(fd);
+  while (!stopping_.load()) {
+    auto line = stream.ReadLine();
+    if (!line.ok()) break;  // Disconnect or IO error ends the connection.
+    if (line->empty()) continue;
+    Response response;
+    auto request = ParseRequestLine(*line);
+    if (!request.ok()) {
+      response.status = request.status();
+    } else {
+      auto body_bytes = RequestBodyBytes(*request);
+      if (!body_bytes.ok()) {
+        response.status = body_bytes.status();
+      } else {
+        if (*body_bytes > 0) {
+          util::Status read = stream.ReadExact(*body_bytes, &request->body);
+          if (!read.ok()) break;  // Mid-body disconnect: no way to recover.
+        }
+        response = handler_.Handle(*request);
+      }
+    }
+    if (!stream.WriteAll(FormatResponse(response)).ok()) break;
+  }
+  // The fd is owned (and closed) by `stream`; drop it from the nudge list.
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  connection_fds_.erase(
+      std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
+      connection_fds_.end());
+}
+
+void PghivedServer::Stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    // Unblocks accept() so the accept thread can observe stopping_.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Nudge connections blocked in recv; they finish the in-flight request
+    // (ServeConnection rechecks stopping_ before reading the next one).
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  // Queue-draining shutdown: every accepted batch commits before exit.
+  manager_.DrainAll();
+}
+
+}  // namespace pghive::service

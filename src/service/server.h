@@ -1,0 +1,71 @@
+#ifndef PGHIVE_SERVICE_SERVER_H_
+#define PGHIVE_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.h"
+#include "service/session_manager.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace pghive::service {
+
+/// The pghived TCP server: accepts loopback connections, reads framed
+/// requests, and dispatches them through RequestHandler. IO runs on one
+/// thread per connection (connections spend their life blocked in recv);
+/// discovery compute runs on the shared ThreadPool via each session's job
+/// lane, so a slow tenant saturates neither the accept loop nor other
+/// tenants' pipelines.
+class PghivedServer {
+ public:
+  struct Options {
+    uint16_t port = 0;         ///< 0 picks an ephemeral port (see port()).
+    size_t threads = 0;        ///< Shared pool size; 0 = hardware threads.
+    size_t max_sessions = 64;
+  };
+
+  explicit PghivedServer(Options options);
+  ~PghivedServer();
+
+  PghivedServer(const PghivedServer&) = delete;
+  PghivedServer& operator=(const PghivedServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread.
+  util::Status Start();
+
+  /// The bound port (valid after Start).
+  uint16_t port() const { return port_; }
+
+  /// Graceful shutdown: stop accepting, nudge open connections to finish
+  /// their current request, join all threads, drain every session's queued
+  /// jobs. Idempotent; also runs from the destructor.
+  void Stop();
+
+  SessionManager& manager() { return manager_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Options options_;
+  util::ThreadPool pool_;
+  SessionManager manager_;
+  RequestHandler handler_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<int> connection_fds_;
+};
+
+}  // namespace pghive::service
+
+#endif  // PGHIVE_SERVICE_SERVER_H_

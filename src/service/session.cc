@@ -1,0 +1,168 @@
+#include "service/session.h"
+
+#include <future>
+#include <utility>
+
+#include "core/options.h"
+#include "core/pgschema_parser.h"
+#include "core/serialize.h"
+#include "core/validator.h"
+
+namespace pghive::service {
+
+Session::Session(std::string id, core::PgHiveOptions options,
+                 util::ThreadPool* pool, JobQueue* queue)
+    : id_(std::move(id)), options_(options), queue_(queue) {
+  graph_ = std::make_unique<pg::PropertyGraph>();
+  // The hive shares the cross-session pool; per-session ordering comes from
+  // the job lane, not from a dedicated pool.
+  hive_ = std::make_unique<core::PgHive>(graph_.get(), options_, pool);
+  assembler_ = std::make_unique<GraphAssembler>(graph_.get());
+}
+
+util::StatusOr<std::shared_ptr<Session>> Session::Create(
+    std::string id, const std::map<std::string, std::string>& option_flags,
+    util::ThreadPool* pool, JobQueue* queue) {
+  auto options = core::ParsePgHiveOptions(option_flags);
+  if (!options.ok()) return options.status();
+  return std::shared_ptr<Session>(
+      new Session(std::move(id), *options, pool, queue));
+}
+
+Session::~Session() { Drain(); }
+
+void Session::Drain() { queue_->DrainLane(id_); }
+
+util::StatusOr<uint64_t> Session::SubmitIngest(std::string payload) {
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (finish_submitted_) {
+      return util::Status::FailedPrecondition(
+          "session " + id_ + " is finished; create a new session to ingest");
+    }
+    if (!status_.ok()) return status_;
+    seq = ++batches_submitted_;
+  }
+  auto shared_payload = std::make_shared<std::string>(std::move(payload));
+  if (!queue_->Submit(id_, [this, shared_payload] {
+        IngestJob(*shared_payload);
+      })) {
+    return util::Status::FailedPrecondition("service is shutting down");
+  }
+  return seq;
+}
+
+void Session::IngestJob(const std::string& payload) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!status_.ok()) return;  // Poisoned: drop follow-on batches.
+  }
+  pg::GraphBatch batch;
+  util::Status status = assembler_->ApplyPayload(payload, &batch);
+  if (status.ok()) {
+    status = hive_->ProcessBatch(batch);
+  }
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (status_.ok()) status_ = status;
+    return;
+  }
+  Publish(/*is_final=*/false);
+}
+
+void Session::FinishJob() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!status_.ok()) return;
+  }
+  util::Status status = assembler_->CheckComplete();
+  if (status.ok()) {
+    status = hive_->Finish();
+  }
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (status_.ok()) status_ = status;
+    return;
+  }
+  Publish(/*is_final=*/true);
+}
+
+void Session::Publish(bool is_final) {
+  auto snapshot = std::make_shared<SchemaSnapshot>();
+  snapshot->batches = hive_->batches_processed();
+  snapshot->is_final = is_final;
+  const core::SchemaGraph& schema = hive_->schema();
+  const pg::Vocabulary& vocab = graph_->vocab();
+  snapshot->pgs_strict =
+      core::SerializePgSchema(schema, vocab, core::SchemaMode::kStrict);
+  snapshot->pgs_loose =
+      core::SerializePgSchema(schema, vocab, core::SchemaMode::kLoose);
+  snapshot->xsd = core::SerializeXsd(schema, vocab);
+  snapshot->describe = core::DescribeSchema(schema, vocab);
+  snapshot->binary = core::SerializeSchemaBinary(schema);
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot->version = ++versions_published_;
+  snapshot_ = std::move(snapshot);
+}
+
+std::shared_ptr<const SchemaSnapshot> Session::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_;
+}
+
+util::StatusOr<std::shared_ptr<const SchemaSnapshot>> Session::FinalSnapshot() {
+  bool submit = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!finish_submitted_) {
+      finish_submitted_ = true;
+      submit = true;
+    }
+  }
+  if (submit) {
+    queue_->Submit(id_, [this] { FinishJob(); });
+  }
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!status_.ok()) return status_;
+    if (snapshot_ == nullptr || !snapshot_->is_final) {
+      return util::Status::Internal("finish produced no snapshot");
+    }
+    return snapshot_;
+  }
+}
+
+util::StatusOr<ValidationResult> Session::Validate(
+    const std::string& pgs_text, bool strict) {
+  auto task = std::make_shared<std::packaged_task<
+      util::StatusOr<ValidationResult>()>>([this, pgs_text, strict] {
+    // A vocabulary copy keeps schema parsing from interning labels or keys
+    // the stream never mentioned — interning into the live vocabulary would
+    // shift token order for batches still to come.
+    pg::Vocabulary vocab = graph_->vocab();
+    auto schema = core::ParsePgSchema(pgs_text, &vocab);
+    if (!schema.ok()) return util::StatusOr<ValidationResult>(schema.status());
+    core::ValidatorOptions options;
+    options.mode = strict ? core::SchemaMode::kStrict : core::SchemaMode::kLoose;
+    core::SchemaValidator validator(&schema.value(), options);
+    core::ValidationReport report = validator.Validate(*graph_);
+    ValidationResult result;
+    result.conforms = report.conforms();
+    result.report = report.Summary();
+    return util::StatusOr<ValidationResult>(std::move(result));
+  });
+  std::future<util::StatusOr<ValidationResult>> future = task->get_future();
+  if (!queue_->Submit(id_, [task] { (*task)(); })) {
+    return util::Status::FailedPrecondition("service is shutting down");
+  }
+  return future.get();
+}
+
+util::Status Session::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return status_;
+}
+
+}  // namespace pghive::service

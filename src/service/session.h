@@ -1,0 +1,126 @@
+#ifndef PGHIVE_SERVICE_SESSION_H_
+#define PGHIVE_SERVICE_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/pghive.h"
+#include "core/schema.h"
+#include "service/assembler.h"
+#include "service/job_queue.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace pghive::service {
+
+/// An immutable, versioned view of a session's discovered schema, published
+/// after each committed job. Every rendering is materialized eagerly inside
+/// the session's serialized job lane — rendering lazily on the reader's
+/// thread would race with the vocabulary, which later ingest batches still
+/// mutate. Readers therefore never see a half-merged batch and never touch
+/// live pipeline state.
+struct SchemaSnapshot {
+  uint64_t version = 0;   ///< Monotonic per session; bumps per committed job.
+  size_t batches = 0;     ///< Batches folded in so far.
+  bool is_final = false;  ///< True once Finish() ran (post-processing done).
+  std::string pgs_strict;  ///< PG-Schema, STRICT mode.
+  std::string pgs_loose;   ///< PG-Schema, LOOSE mode.
+  std::string xsd;         ///< XML Schema rendering.
+  std::string describe;    ///< Human-readable summary.
+  std::string binary;      ///< core::SerializeSchemaBinary bytes.
+};
+
+/// Outcome of validating a PG-Schema text against a session's graph.
+struct ValidationResult {
+  bool conforms = false;
+  std::string report;
+};
+
+/// One tenant of pghived: a streamed graph, its PgHive pipeline, and the
+/// snapshots published so far. All pipeline mutation happens in jobs on the
+/// session's JobQueue lane (keyed by session id), which serializes them in
+/// submission order — the same order a one-shot run would process the same
+/// batches, so the final schema is byte-identical to `pghive discover` on
+/// the assembled graph (pinned by tests/threading/service_determinism_test).
+///
+/// Thread safety: SubmitIngest / Snapshot / FinalSnapshot / Validate /
+/// status may be called from any connection thread. Graph, hive, and
+/// assembler are only touched inside lane jobs (or after draining the lane).
+class Session {
+ public:
+  /// Parses `option_flags` with the shared core parser (the same knobs and
+  /// validation as the CLI) and builds an empty session. Discovery compute
+  /// runs on `pool` (shared across sessions; null means inline); jobs are
+  /// serialized through `queue`. Both must outlive the session.
+  static util::StatusOr<std::shared_ptr<Session>> Create(
+      std::string id, const std::map<std::string, std::string>& option_flags,
+      util::ThreadPool* pool, JobQueue* queue);
+
+  /// Drains this session's lane so no job outlives the object.
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const std::string& id() const { return id_; }
+  const core::PgHiveOptions& options() const { return options_; }
+
+  /// Enqueues one ingest payload; returns its 1-based batch sequence number
+  /// immediately (the batch is committed asynchronously; errors latch into
+  /// status()). Fails once a final snapshot was requested.
+  util::StatusOr<uint64_t> SubmitIngest(std::string payload);
+
+  /// The latest published snapshot; null before the first batch commits.
+  std::shared_ptr<const SchemaSnapshot> Snapshot() const;
+
+  /// Enqueues Finish() (first call only), waits for this session's lane to
+  /// drain, and returns the final snapshot. The stream must have
+  /// materialized every declared element.
+  util::StatusOr<std::shared_ptr<const SchemaSnapshot>> FinalSnapshot();
+
+  /// Validates a PG-Schema text against the session's graph as a lane job
+  /// (so it sees a settled graph and blocks neither readers nor other
+  /// sessions). Parses against a *copy* of the vocabulary: validation must
+  /// not intern new labels into a still-discovering session.
+  util::StatusOr<ValidationResult> Validate(const std::string& pgs_text,
+                                            bool strict);
+
+  /// First error any job hit; Ok while healthy. A failed session rejects
+  /// further ingest.
+  util::Status status() const;
+
+  /// Blocks until every enqueued job for this session finished.
+  void Drain();
+
+ private:
+  Session(std::string id, core::PgHiveOptions options, util::ThreadPool* pool,
+          JobQueue* queue);
+
+  void IngestJob(const std::string& payload);
+  void FinishJob();
+  /// Renders and swaps in a new snapshot. Lane jobs only.
+  void Publish(bool is_final);
+
+  const std::string id_;
+  const core::PgHiveOptions options_;
+  JobQueue* queue_;
+
+  // Owned pipeline state; lane jobs only.
+  std::unique_ptr<pg::PropertyGraph> graph_;
+  std::unique_ptr<core::PgHive> hive_;
+  std::unique_ptr<GraphAssembler> assembler_;
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<const SchemaSnapshot> snapshot_;
+  util::Status status_;
+  uint64_t batches_submitted_ = 0;
+  uint64_t versions_published_ = 0;
+  bool finish_submitted_ = false;
+};
+
+}  // namespace pghive::service
+
+#endif  // PGHIVE_SERVICE_SESSION_H_

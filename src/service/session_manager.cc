@@ -1,0 +1,55 @@
+#include "service/session_manager.h"
+
+#include <utility>
+
+namespace pghive::service {
+
+util::StatusOr<std::shared_ptr<Session>> SessionManager::CreateSession(
+    const std::map<std::string, std::string>& option_flags) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sessions_.size() >= options_.max_sessions) {
+    return util::Status::FailedPrecondition(
+        "session limit reached (" + std::to_string(options_.max_sessions) +
+        "); close a session first");
+  }
+  std::string id = "s" + std::to_string(next_id_++);
+  auto session = Session::Create(id, option_flags, pool_, &queue_);
+  if (!session.ok()) return session.status();
+  sessions_[id] = *session;
+  return *session;
+}
+
+util::StatusOr<std::shared_ptr<Session>> SessionManager::Lookup(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return util::Status::NotFound("no session '" + id + "'");
+  }
+  return it->second;
+}
+
+util::Status SessionManager::Close(const std::string& id) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return util::Status::NotFound("no session '" + id + "'");
+    }
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // Outside the lock: draining can run queued jobs inline.
+  session->Drain();
+  return util::Status::Ok();
+}
+
+void SessionManager::DrainAll() { queue_.Drain(); }
+
+size_t SessionManager::num_sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+}  // namespace pghive::service

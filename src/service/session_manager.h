@@ -1,0 +1,66 @@
+#ifndef PGHIVE_SERVICE_SESSION_MANAGER_H_
+#define PGHIVE_SERVICE_SESSION_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "service/job_queue.h"
+#include "service/session.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace pghive::service {
+
+/// Owns the multi-tenant session table of a pghived instance: create /
+/// lookup / evict by id. All sessions schedule through one JobQueue onto one
+/// shared ThreadPool, so concurrent tenants interleave at job granularity
+/// while each tenant's batches stay in submission order.
+class SessionManager {
+ public:
+  struct Options {
+    size_t max_sessions = 64;  ///< Eviction backstop for runaway clients.
+  };
+
+  /// `pool` may be null (inline jobs — the serial path) and must outlive
+  /// the manager.
+  SessionManager(util::ThreadPool* pool, Options options)
+      : options_(options), pool_(pool), queue_(pool) {}
+  explicit SessionManager(util::ThreadPool* pool)
+      : SessionManager(pool, Options()) {}
+
+  ~SessionManager() { DrainAll(); }
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Creates a session with a fresh id ("s1", "s2", ...). Fails if the
+  /// option flags don't parse/validate or the session table is full.
+  util::StatusOr<std::shared_ptr<Session>> CreateSession(
+      const std::map<std::string, std::string>& option_flags);
+
+  /// NotFound if absent (or already closed).
+  util::StatusOr<std::shared_ptr<Session>> Lookup(const std::string& id) const;
+
+  /// Removes the session and waits for its queued jobs to finish.
+  util::Status Close(const std::string& id);
+
+  /// Waits for every session's queued jobs (graceful-shutdown path).
+  void DrainAll();
+
+  size_t num_sessions() const;
+  JobQueue& queue() { return queue_; }
+
+ private:
+  const Options options_;
+  util::ThreadPool* pool_;
+  JobQueue queue_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace pghive::service
+
+#endif  // PGHIVE_SERVICE_SESSION_MANAGER_H_

@@ -64,7 +64,7 @@ std::string JoinCsvLine(const std::vector<std::string>& fields) {
   return out;
 }
 
-Result<CsvTable> ReadCsvFile(const std::string& path) {
+StatusOr<CsvTable> ReadCsvFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
   CsvTable table;

@@ -24,7 +24,7 @@ struct CsvTable {
 };
 
 /// Reads an entire CSV file; the first line is the header.
-Result<CsvTable> ReadCsvFile(const std::string& path);
+StatusOr<CsvTable> ReadCsvFile(const std::string& path);
 
 /// Writes a CSV file (header + rows).
 Status WriteCsvFile(const std::string& path, const CsvTable& table);

@@ -1,0 +1,41 @@
+#include "util/parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace pghive::util {
+
+StatusOr<int64_t> ParseInt64(const std::string& text) {
+  if (text.empty()) return Status::ParseError("empty integer");
+  // strtoll silently skips leading whitespace; a knob value of " 3" should
+  // be rejected like any other non-integer, not quietly accepted.
+  if (std::isspace(static_cast<unsigned char>(text.front()))) {
+    return Status::ParseError("'" + text + "' is not an integer");
+  }
+  char* end = nullptr;
+  errno = 0;
+  long long parsed = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::ParseError("'" + text + "' is not an integer");
+  }
+  if (errno == ERANGE) {
+    return Status::OutOfRange("'" + text + "' overflows a 64-bit integer");
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+StatusOr<int64_t> ParseInt64InRange(const std::string& text, int64_t min,
+                                    int64_t max, const std::string& what) {
+  StatusOr<int64_t> parsed = ParseInt64(text);
+  if (!parsed.ok()) {
+    return Status::ParseError(what + ": " + parsed.status().message());
+  }
+  if (*parsed < min || *parsed > max) {
+    return Status::OutOfRange(what + " must be in [" + std::to_string(min) +
+                              ", " + std::to_string(max) + "], got " + text);
+  }
+  return *parsed;
+}
+
+}  // namespace pghive::util

@@ -10,7 +10,7 @@
 namespace pghive::util {
 
 /// Error categories used across the library. The public API never throws;
-/// fallible operations return Status or Result<T>.
+/// fallible operations return Status or StatusOr<T>.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -67,13 +67,16 @@ class Status {
   std::string message_;
 };
 
-/// A value-or-Status union. Access to value() on an error aborts, so callers
-/// must check ok() (or use value_or) first.
+/// A value-or-Status union: the return type of every fallible factory path
+/// (graph loading, schema parsing, option parsing, session creation) so
+/// errors propagate without sentinel values or bool/out-param pairs.
+/// Access to value() / operator* on an error aborts, so callers must check
+/// ok() (or use value_or) first.
 template <typename T>
-class Result {
+class StatusOr {
  public:
-  Result(T value) : data_(std::move(value)) {}          // NOLINT(runtime/explicit)
-  Result(Status status) : data_(std::move(status)) {}   // NOLINT(runtime/explicit)
+  StatusOr(T value) : data_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  StatusOr(Status status) : data_(std::move(status)) {}   // NOLINT(runtime/explicit)
 
   bool ok() const { return std::holds_alternative<T>(data_); }
 
@@ -82,6 +85,8 @@ class Result {
     if (ok()) return kOkStatus;
     return std::get<Status>(data_);
   }
+  /// The status code (kOk when this holds a value).
+  StatusCode code() const { return status().code(); }
 
   const T& value() const& {
     CheckOk();
@@ -96,6 +101,12 @@ class Result {
     return std::get<T>(std::move(data_));
   }
 
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
   T value_or(T fallback) const {
     if (ok()) return std::get<T>(data_);
     return fallback;
@@ -104,7 +115,7 @@ class Result {
  private:
   void CheckOk() const {
     if (!ok()) {
-      std::fprintf(stderr, "Result::value() on error: %s\n",
+      std::fprintf(stderr, "StatusOr::value() on error: %s\n",
                    std::get<Status>(data_).ToString().c_str());
       std::abort();
     }
@@ -112,6 +123,10 @@ class Result {
 
   std::variant<T, Status> data_;
 };
+
+/// Legacy spelling of StatusOr; new code should say StatusOr.
+template <typename T>
+using Result = StatusOr<T>;
 
 }  // namespace pghive::util
 

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <memory>
 
@@ -65,6 +66,22 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     task();
+  }
+}
+
+void ThreadPool::HelpWhileWaiting(std::future<void>& future) {
+  for (;;) {
+    if (future.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      return;
+    }
+    if (!RunOneTask()) {
+      // Queue drained and the future still pending: the awaited task is
+      // executing on another thread (a queued task cannot linger once the
+      // queue is observed empty — it was popped). Block normally.
+      future.wait();
+      return;
+    }
   }
 }
 

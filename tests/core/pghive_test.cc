@@ -252,6 +252,39 @@ TEST(PgHiveTest, PreprocessPlusProcessPreparedEqualsProcessBatch) {
   EXPECT_EQ(staged.EdgeAssignment(), whole.EdgeAssignment());
 }
 
+TEST(PgHiveTest, MutatingCallsAfterFinishReturnFailedPrecondition) {
+  pg::PropertyGraph g = RunningExample();
+  PgHive pipeline(&g, {});
+  ASSERT_TRUE(pipeline.ProcessBatch(pg::FullBatch(g)).ok());
+  ASSERT_TRUE(pipeline.Finish().ok());
+  EXPECT_EQ(pipeline.phase(), PgHive::Phase::kFinished);
+
+  // The schema stays readable, but every mutating entry point is closed.
+  EXPECT_GT(pipeline.schema().num_node_types(), 0u);
+  auto batch = pipeline.ProcessBatch(pg::FullBatch(g));
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.code(), util::StatusCode::kFailedPrecondition);
+  auto run = pipeline.Run();
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.code(), util::StatusCode::kFailedPrecondition);
+  auto finish = pipeline.Finish();
+  ASSERT_FALSE(finish.ok());
+  EXPECT_EQ(finish.code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(PgHiveTest, CreateValidatesOptions) {
+  pg::PropertyGraph g = RunningExample();
+  PgHiveOptions bad;
+  bad.pipeline_depth = 0;
+  EXPECT_FALSE(PgHive::Create(&g, bad).ok());
+
+  PgHiveOptions good;
+  auto created = PgHive::Create(&g, good);
+  ASSERT_TRUE(created.ok());
+  EXPECT_TRUE((*created)->Run().ok());
+  EXPECT_GT((*created)->schema().num_node_types(), 0u);
+}
+
 TEST(PgHiveTest, DeterministicAcrossRuns) {
   pg::PropertyGraph g1 = RunningExample();
   pg::PropertyGraph g2 = RunningExample();

@@ -124,5 +124,66 @@ TEST(SerializeTest, CardinalityCommentInStrictMode) {
   EXPECT_NE(out.find("/* N:1 */"), std::string::npos);
 }
 
+TEST(SerializeBinaryTest, RoundTripIsLossless) {
+  Fixture f;
+  std::string bytes = SerializeSchemaBinary(f.schema);
+  ASSERT_FALSE(bytes.empty());
+  auto parsed = ParseSchemaBinary(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  ASSERT_EQ(parsed->num_node_types(), f.schema.num_node_types());
+  ASSERT_EQ(parsed->num_edge_types(), f.schema.num_edge_types());
+  for (size_t i = 0; i < f.schema.num_node_types(); ++i) {
+    const NodeType& a = f.schema.node_types()[i];
+    const NodeType& b = parsed->node_types()[i];
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_EQ(a.instances, b.instances);
+    EXPECT_EQ(a.instance_count, b.instance_count);
+    EXPECT_EQ(a.pattern_hashes, b.pattern_hashes);
+    ASSERT_EQ(a.properties.size(), b.properties.size());
+    for (const auto& [key, info] : a.properties) {
+      auto it = b.properties.find(key);
+      ASSERT_NE(it, b.properties.end());
+      EXPECT_EQ(it->second.data_type, info.data_type);
+      EXPECT_EQ(it->second.requiredness, info.requiredness);
+    }
+  }
+  for (size_t i = 0; i < f.schema.num_edge_types(); ++i) {
+    const EdgeType& a = f.schema.edge_types()[i];
+    const EdgeType& b = parsed->edge_types()[i];
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_EQ(a.endpoints, b.endpoints);
+    EXPECT_EQ(a.cardinality.max_out, b.cardinality.max_out);
+    EXPECT_EQ(a.cardinality.max_in, b.cardinality.max_in);
+    EXPECT_EQ(a.cardinality.kind, b.cardinality.kind);
+  }
+
+  // A re-serialization of the parsed schema is byte-identical: the format
+  // has one canonical encoding per schema.
+  EXPECT_EQ(SerializeSchemaBinary(*parsed), bytes);
+}
+
+TEST(SerializeBinaryTest, RejectsCorruptPayloads) {
+  Fixture f;
+  std::string bytes = SerializeSchemaBinary(f.schema);
+
+  EXPECT_FALSE(ParseSchemaBinary("").ok());
+  EXPECT_FALSE(ParseSchemaBinary("nope").ok());
+
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(ParseSchemaBinary(bad_magic).ok());
+
+  std::string bad_version = bytes;
+  bad_version[4] = static_cast<char>(0x7f);
+  EXPECT_FALSE(ParseSchemaBinary(bad_version).ok());
+
+  std::string truncated = bytes.substr(0, bytes.size() - 3);
+  EXPECT_FALSE(ParseSchemaBinary(truncated).ok());
+
+  std::string trailing = bytes + "junk";
+  EXPECT_FALSE(ParseSchemaBinary(trailing).ok());
+}
+
 }  // namespace
 }  // namespace pghive::core

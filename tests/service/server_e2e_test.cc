@@ -1,0 +1,167 @@
+// End-to-end pghived tests over a real loopback socket: a PghivedServer on
+// an ephemeral port, driven by PghivedClient — the exact pair the daemon
+// binary and `pghive client` wrap. Pins the headline guarantee: a schema
+// streamed over TCP in batches is byte-identical to the one-shot run.
+
+#include "service/server.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pghive.h"
+#include "core/serialize.h"
+#include "pg/batch.h"
+#include "datasets/generator.h"
+#include "datasets/zoo.h"
+#include "service/client.h"
+#include "util/status.h"
+
+namespace pghive::service {
+namespace {
+
+struct OneShot {
+  std::string pgs;
+  std::string xsd;
+};
+
+OneShot OneShotDiscovery(double scale, size_t batches) {
+  datasets::Dataset dataset =
+      datasets::Generate(datasets::PoleSpec(), scale, /*seed=*/7);
+  core::PgHiveOptions options;
+  core::PgHive pipeline(&dataset.graph, options);
+  if (batches <= 1) {
+    EXPECT_TRUE(pipeline.Run().ok());
+  } else {
+    // Same split the client streams: SplitIntoBatches with the CLI seed.
+    for (const auto& batch :
+         pg::SplitIntoBatches(dataset.graph, batches, /*seed=*/1)) {
+      EXPECT_TRUE(pipeline.ProcessBatch(batch).ok());
+    }
+    EXPECT_TRUE(pipeline.Finish().ok());
+  }
+  OneShot out;
+  out.pgs = core::SerializePgSchema(pipeline.schema(), dataset.graph.vocab(),
+                                    core::SchemaMode::kStrict);
+  out.xsd = core::SerializeXsd(pipeline.schema(), dataset.graph.vocab());
+  return out;
+}
+
+TEST(ServerE2eTest, PingAndUnknownSession) {
+  PghivedServer server({});
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  auto client = PghivedClient::Connect(server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_TRUE(client->Ping().ok());
+  EXPECT_FALSE(client->GetSchema("nosuch").ok());
+  server.Stop();
+}
+
+TEST(ServerE2eTest, StreamedSchemaIsByteIdenticalToOneShot) {
+  const double kScale = 0.1;
+  OneShot expected = OneShotDiscovery(kScale, /*batches=*/4);
+  ASSERT_FALSE(expected.pgs.empty());
+
+  PghivedServer server({});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = PghivedClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+
+  auto session = client->CreateSession({});
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  datasets::Dataset dataset =
+      datasets::Generate(datasets::PoleSpec(), kScale, /*seed=*/7);
+  auto payloads = BuildIngestPayloads(dataset.graph, /*num_batches=*/4);
+  ASSERT_EQ(payloads.size(), 4u);
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    auto seq = client->IngestBatch(*session, payloads[i]);
+    ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+    EXPECT_EQ(*seq, i + 1);
+  }
+
+  auto pgs = client->GetSchema(*session, "pgs");
+  ASSERT_TRUE(pgs.ok()) << pgs.status().ToString();
+  EXPECT_EQ(*pgs, expected.pgs);
+
+  auto xsd = client->GetSchema(*session, "xsd");
+  ASSERT_TRUE(xsd.ok());
+  EXPECT_EQ(*xsd, expected.xsd);
+
+  // The binary form parses back into a structurally sane schema.
+  auto binary = client->GetSchema(*session, "binary");
+  ASSERT_TRUE(binary.ok());
+  auto parsed = core::ParseSchemaBinary(*binary);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_GT(parsed->num_node_types(), 0u);
+
+  // The streamed schema validates against the streamed graph.
+  auto verdict = client->Validate(*session, /*strict=*/true, *pgs);
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  EXPECT_TRUE(verdict->conforms) << verdict->report;
+
+  EXPECT_TRUE(client->CloseSession(*session).ok());
+  server.Stop();
+}
+
+TEST(ServerE2eTest, ConcurrentClientsGetIndependentSessions) {
+  PghivedServer server({});
+  ASSERT_TRUE(server.Start().ok());
+
+  datasets::Dataset dataset =
+      datasets::Generate(datasets::PoleSpec(), 0.05, /*seed=*/7);
+  auto payloads = BuildIngestPayloads(dataset.graph, /*num_batches=*/2);
+
+  constexpr int kClients = 4;
+  std::vector<std::string> schemas(kClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = PghivedClient::Connect(server.port());
+      ASSERT_TRUE(client.ok());
+      auto session = client->CreateSession({});
+      ASSERT_TRUE(session.ok());
+      for (const std::string& payload : payloads) {
+        ASSERT_TRUE(client->IngestBatch(*session, payload).ok());
+      }
+      auto pgs = client->GetSchema(*session, "pgs");
+      ASSERT_TRUE(pgs.ok()) << pgs.status().ToString();
+      schemas[c] = *pgs;
+      EXPECT_TRUE(client->CloseSession(*session).ok());
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int c = 1; c < kClients; ++c) {
+    EXPECT_EQ(schemas[c], schemas[0]) << "client " << c;
+  }
+  EXPECT_FALSE(schemas[0].empty());
+  server.Stop();
+}
+
+TEST(ServerE2eTest, StopDrainsAndIsIdempotent) {
+  PghivedServer server({});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = PghivedClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  auto session = client->CreateSession({});
+  ASSERT_TRUE(session.ok());
+
+  pg::PropertyGraph graph;
+  auto a = graph.AddNode({"A"});
+  auto b = graph.AddNode({"B"});
+  graph.AddEdge(a, b, {"REL"});
+  auto payloads = BuildIngestPayloads(graph, 1);
+  ASSERT_TRUE(client->IngestBatch(*session, payloads[0]).ok());
+
+  server.Stop();
+  server.Stop();  // Idempotent.
+  // The connection is gone after shutdown.
+  EXPECT_FALSE(client->Ping().ok());
+}
+
+}  // namespace
+}  // namespace pghive::service

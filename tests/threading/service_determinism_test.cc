@@ -1,0 +1,140 @@
+// The pghived multi-tenant determinism guarantee: N sessions streaming
+// interleaved batches through one SessionManager on one shared ThreadPool
+// each produce a final schema byte-identical to a one-shot run on the same
+// dataset. Lives in the threading suite so the TSan CI job races the lane
+// scheduler, snapshot publication, and cross-session pool sharing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pghive.h"
+#include "core/serialize.h"
+#include "datasets/generator.h"
+#include "datasets/zoo.h"
+#include "pg/batch.h"
+#include "service/client.h"
+#include "service/session.h"
+#include "service/session_manager.h"
+#include "util/thread_pool.h"
+
+namespace pghive {
+namespace {
+
+struct Tenant {
+  datasets::DatasetSpec spec;
+  double scale;
+  size_t batches;
+};
+
+std::string OneShotPgs(const Tenant& tenant) {
+  datasets::Dataset dataset =
+      datasets::Generate(tenant.spec, tenant.scale, /*seed=*/13);
+  core::PgHiveOptions options;
+  core::PgHive pipeline(&dataset.graph, options);
+  if (tenant.batches <= 1) {
+    EXPECT_TRUE(pipeline.Run().ok());
+  } else {
+    for (const auto& batch :
+         pg::SplitIntoBatches(dataset.graph, tenant.batches, /*seed=*/1)) {
+      EXPECT_TRUE(pipeline.ProcessBatch(batch).ok());
+    }
+    EXPECT_TRUE(pipeline.Finish().ok());
+  }
+  return core::SerializePgSchema(pipeline.schema(), dataset.graph.vocab(),
+                                 core::SchemaMode::kStrict);
+}
+
+TEST(ServiceDeterminismTest, ConcurrentTenantsMatchOneShotByteForByte) {
+  // A slice of the paper's zoo (Table 2) with different shapes: flat types,
+  // multi-label structure, and heterogeneous patterns.
+  const std::vector<Tenant> tenants = {
+      {datasets::PoleSpec(), 0.08, 3},
+      {datasets::Mb6Spec(), 0.08, 2},
+      {datasets::LdbcSpec(), 0.05, 4},
+      {datasets::IcijSpec(), 0.04, 2},
+  };
+
+  std::vector<std::string> expected(tenants.size());
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    expected[i] = OneShotPgs(tenants[i]);
+    ASSERT_FALSE(expected[i].empty()) << tenants[i].spec.name;
+  }
+
+  util::ThreadPool pool(4);
+  service::SessionManager manager(&pool);
+
+  // Every tenant streams from its own thread; batches from different
+  // sessions interleave arbitrarily on the shared pool, batches within a
+  // session stay in submission order via its job lane.
+  std::vector<std::string> streamed(tenants.size());
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    threads.emplace_back([&, i] {
+      auto session = manager.CreateSession({});
+      ASSERT_TRUE(session.ok()) << session.status().ToString();
+      datasets::Dataset dataset =
+          datasets::Generate(tenants[i].spec, tenants[i].scale, /*seed=*/13);
+      for (const std::string& payload : service::BuildIngestPayloads(
+               dataset.graph, tenants[i].batches)) {
+        auto seq = (*session)->SubmitIngest(payload);
+        ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+      }
+      auto final_snapshot = (*session)->FinalSnapshot();
+      ASSERT_TRUE(final_snapshot.ok()) << final_snapshot.status().ToString();
+      streamed[i] = (*final_snapshot)->pgs_strict;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (size_t i = 0; i < tenants.size(); ++i) {
+    EXPECT_EQ(streamed[i], expected[i])
+        << tenants[i].spec.name << " (tenant " << i << ")";
+  }
+}
+
+TEST(ServiceDeterminismTest, SnapshotReadersRaceIngestSafely) {
+  util::ThreadPool pool(4);
+  service::SessionManager manager(&pool);
+  auto session = manager.CreateSession({});
+  ASSERT_TRUE(session.ok());
+
+  datasets::Dataset dataset =
+      datasets::Generate(datasets::PoleSpec(), 0.08, /*seed=*/13);
+  auto payloads = service::BuildIngestPayloads(dataset.graph, 6);
+
+  // Readers hammer Snapshot() while the writer streams; every observed
+  // snapshot must be internally consistent (a fully rendered batch view).
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      uint64_t last_version = 0;
+      while (!done.load()) {
+        auto snapshot = (*session)->Snapshot();
+        if (snapshot == nullptr) continue;
+        EXPECT_GE(snapshot->version, last_version);
+        last_version = snapshot->version;
+        EXPECT_FALSE(snapshot->pgs_strict.empty());
+        EXPECT_GE(snapshot->batches, 1u);
+      }
+    });
+  }
+  for (const std::string& payload : payloads) {
+    ASSERT_TRUE((*session)->SubmitIngest(payload).ok());
+  }
+  auto final_snapshot = (*session)->FinalSnapshot();
+  done = true;
+  for (auto& t : readers) t.join();
+  ASSERT_TRUE(final_snapshot.ok());
+  EXPECT_TRUE((*final_snapshot)->is_final);
+  EXPECT_EQ((*final_snapshot)->batches, payloads.size());
+}
+
+}  // namespace
+}  // namespace pghive

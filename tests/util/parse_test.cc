@@ -1,0 +1,51 @@
+#include "util/parse.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace pghive::util {
+namespace {
+
+TEST(ParseInt64Test, ParsesPlainIntegers) {
+  auto v = ParseInt64("42");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(*ParseInt64("-7"), -7);
+  EXPECT_EQ(*ParseInt64("0"), 0);
+}
+
+TEST(ParseInt64Test, RejectsGarbageAndPartialParses) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("banana").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+  EXPECT_FALSE(ParseInt64(" 3").ok());
+  EXPECT_FALSE(ParseInt64("3 ").ok());
+}
+
+TEST(ParseInt64Test, RejectsOverflow) {
+  auto v = ParseInt64("99999999999999999999999999");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(*ParseInt64(std::to_string(std::numeric_limits<int64_t>::max())),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(ParseInt64InRangeTest, EnforcesInclusiveBounds) {
+  EXPECT_EQ(*ParseInt64InRange("5", 1, 10, "--knob"), 5);
+  EXPECT_EQ(*ParseInt64InRange("1", 1, 10, "--knob"), 1);
+  EXPECT_EQ(*ParseInt64InRange("10", 1, 10, "--knob"), 10);
+  EXPECT_FALSE(ParseInt64InRange("0", 1, 10, "--knob").ok());
+  EXPECT_FALSE(ParseInt64InRange("11", 1, 10, "--knob").ok());
+}
+
+TEST(ParseInt64InRangeTest, ErrorNamesTheKnob) {
+  auto v = ParseInt64InRange("banana", 1, 10, "--pipeline-depth");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("--pipeline-depth"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pghive::util

@@ -22,18 +22,28 @@
 //       FIB25, ICIJ, CORD19, LDBC, IYP).
 //   validate  --graph FILE --schema FILE.pgs [--strict]
 //       Validates a graph against a PG-Schema file.
+//   client    --graph FILE (--port N | --port-file FILE) [--batches N]
+//             [--out PREFIX] [--loose] [discover knobs]
+//       Streams a graph file into a running pghived daemon batch by batch
+//       and fetches the discovered schema over the wire; with --out also
+//       writes PREFIX.pgs and PREFIX.xsd. Discovery knobs (--method,
+//       --threads, ...) are forwarded to create-session. The result is
+//       byte-identical to a local `discover --batches N` run with the same
+//       knobs (pinned by the service e2e tests and the CI smoke step).
 //
 // Exit code 0 on success (and, for validate, on conformance), 1 otherwise.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/batch_pipeline.h"
+#include "core/options.h"
 #include "core/pghive.h"
 #include "core/pgschema_parser.h"
 #include "core/serialize.h"
@@ -42,6 +52,8 @@
 #include "datasets/zoo.h"
 #include "pg/csv_import.h"
 #include "pg/graph_io.h"
+#include "service/client.h"
+#include "util/parse.h"
 
 namespace {
 
@@ -97,22 +109,18 @@ int Fail(const std::string& message) {
   return 1;
 }
 
-/// Strict integer option parsing: the whole value must be a base-10 integer
-/// in [min, max]. Returns false on garbage instead of silently falling back
-/// (an ignored typo in --batches or --pipeline-depth would quietly change
-/// what gets measured).
-bool ParseIntOption(const Args& args, const std::string& key, long long min,
-                    long long max, long long* out) {
-  if (!args.Has(key)) return true;
-  const std::string value = args.Get(key);
-  char* end = nullptr;
-  long long parsed = std::strtoll(value.c_str(), &end, 10);
-  if (value.empty() || end == value.c_str() || *end != '\0' || parsed < min ||
-      parsed > max) {
-    return false;
+/// Collects the discovery knobs the shared core parser understands from the
+/// command line. Validation (ranges, enum values) lives in one place —
+/// core::ApplyOptionFlags + PgHiveOptions::Validate — shared with pghived's
+/// create-session path, so CLI and daemon reject exactly the same inputs.
+std::map<std::string, std::string> DiscoveryKnobs(const Args& args) {
+  std::map<std::string, std::string> knobs;
+  for (const char* key : {"method", "threads", "pipeline-depth", "shards",
+                          "data-plane", "seed"}) {
+    if (args.Has(key)) knobs[key] = args.Get(key);
   }
-  *out = parsed;
-  return true;
+  if (args.Has("sample-datatypes")) knobs["sample-datatypes"] = "true";
+  return knobs;
 }
 
 int CmdDiscover(const Args& args) {
@@ -123,57 +131,27 @@ int CmdDiscover(const Args& args) {
   std::printf("loaded %zu nodes, %zu edges\n", graph.num_nodes(),
               graph.num_edges());
 
-  core::PgHiveOptions options;
-  if (args.Get("method") == "minhash") {
-    options.method = core::ClusterMethod::kMinHash;
-  }
-  if (args.Has("sample-datatypes")) {
-    options.datatype_options.sample = true;
-  }
-  long long threads = 0;
-  if (!ParseIntOption(args, "threads", 0, 4096, &threads)) {
-    return Fail("--threads must be an integer in [0, 4096] "
-                "(0 = hardware threads)");
-  }
-  options.num_threads = static_cast<size_t>(threads);
-  long long depth = 1;
-  if (!ParseIntOption(args, "pipeline-depth", 1, 64, &depth)) {
-    return Fail("--pipeline-depth must be an integer in [1, 64] "
-                "(1 = sequential ingest; higher overlaps the next batch's "
-                "preprocess with the current batch's extract)");
-  }
-  options.pipeline_depth = static_cast<size_t>(depth);
-  long long shards = 1;
-  if (!ParseIntOption(args, "shards", 1, 4096, &shards)) {
-    return Fail("--shards must be an integer in [1, 4096] "
-                "(1 = unsharded; higher partitions every batch by "
-                "consistent hashing and runs the shards in parallel)");
-  }
-  options.num_shards = static_cast<size_t>(shards);
-  const std::string plane = args.Get("data-plane", "columnar");
-  if (plane == "row") {
-    options.columnar = false;
-  } else if (plane != "columnar") {
-    return Fail("--data-plane must be 'columnar' or 'row'");
-  }
-  long long num_batches = 1;
-  if (!ParseIntOption(args, "batches", 1, 1000000, &num_batches)) {
-    return Fail("--batches must be an integer in [1, 1000000]");
-  }
-  core::PgHive pipeline(&graph, options);
-  if (num_batches <= 1) {
-    if (depth > 1) {
+  auto options = core::ParsePgHiveOptions(DiscoveryKnobs(args));
+  if (!options.ok()) return Fail(options.status().ToString());
+  auto num_batches = util::ParseInt64InRange(args.Get("batches", "1"), 1,
+                                             1000000, "--batches");
+  if (!num_batches.ok()) return Fail(num_batches.status().ToString());
+  auto created = core::PgHive::Create(&graph, *options);
+  if (!created.ok()) return Fail(created.status().ToString());
+  core::PgHive& pipeline = **created;
+  if (*num_batches <= 1) {
+    if (options->pipeline_depth > 1) {
       std::fprintf(stderr,
                    "pghive: warning: --pipeline-depth %lld has no effect "
                    "without --batches > 1 (single-batch discovery has "
                    "nothing to overlap)\n",
-                   depth);
+                   static_cast<long long>(options->pipeline_depth));
     }
     auto status = pipeline.Run();
     if (!status.ok()) return Fail(status.ToString());
   } else {
     std::vector<pg::GraphBatch> batches = pg::SplitIntoBatches(
-        graph, static_cast<size_t>(num_batches), /*seed=*/1);
+        graph, static_cast<size_t>(*num_batches), /*seed=*/1);
     core::BatchPipeline executor(&pipeline);
     auto status = executor.Run(batches);
     if (!status.ok()) return Fail(status.ToString());
@@ -230,13 +208,84 @@ int CmdGenerate(const Args& args) {
   auto spec = datasets::ZooDataset(args.Get("dataset"));
   if (!spec.ok()) return Fail(spec.status().ToString());
   double scale = std::atof(args.Get("scale", "1.0").c_str());
-  uint64_t seed = std::strtoull(args.Get("seed", "42").c_str(), nullptr, 10);
-  datasets::Dataset dataset = datasets::Generate(spec.value(), scale, seed);
+  auto seed = util::ParseInt64InRange(args.Get("seed", "42"), 0,
+                                      std::numeric_limits<int64_t>::max(),
+                                      "--seed");
+  if (!seed.ok()) return Fail(seed.status().ToString());
+  datasets::Dataset dataset =
+      datasets::Generate(spec.value(), scale, static_cast<uint64_t>(*seed));
   auto status = pg::SaveGraphFile(dataset.graph, args.Get("out"));
   if (!status.ok()) return Fail(status.ToString());
   std::printf("generated %s: %zu nodes, %zu edges -> %s\n",
               spec.value().name.c_str(), dataset.graph.num_nodes(),
               dataset.graph.num_edges(), args.Get("out").c_str());
+  return 0;
+}
+
+/// Streams a graph into a running pghived, batch by batch, and fetches the
+/// final schema — the wire-borne twin of CmdDiscover. The discovered schema
+/// is byte-identical to a local `pghive discover` run with the same knobs
+/// (pinned by the service e2e tests and the CI smoke step).
+int CmdClient(const Args& args) {
+  if (!args.Has("graph")) return Fail("client needs --graph FILE");
+  uint16_t port = 0;
+  if (args.Has("port-file")) {
+    std::ifstream in(args.Get("port-file"));
+    if (!in) return Fail("cannot open " + args.Get("port-file"));
+    std::string text;
+    in >> text;
+    auto parsed = util::ParseInt64InRange(text, 1, 65535, "port file");
+    if (!parsed.ok()) return Fail(parsed.status().ToString());
+    port = static_cast<uint16_t>(*parsed);
+  } else if (args.Has("port")) {
+    auto parsed = util::ParseInt64InRange(args.Get("port"), 1, 65535,
+                                          "--port");
+    if (!parsed.ok()) return Fail(parsed.status().ToString());
+    port = static_cast<uint16_t>(*parsed);
+  } else {
+    return Fail("client needs --port N or --port-file FILE");
+  }
+  auto num_batches = util::ParseInt64InRange(args.Get("batches", "1"), 1,
+                                             1000000, "--batches");
+  if (!num_batches.ok()) return Fail(num_batches.status().ToString());
+
+  auto loaded = pg::LoadGraphFile(args.Get("graph"));
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  pg::PropertyGraph graph = std::move(loaded).value();
+  std::vector<std::string> payloads = service::BuildIngestPayloads(
+      graph, static_cast<size_t>(*num_batches), /*seed=*/1);
+
+  auto client = service::PghivedClient::Connect(port);
+  if (!client.ok()) return Fail(client.status().ToString());
+  auto session = client->CreateSession(DiscoveryKnobs(args));
+  if (!session.ok()) return Fail(session.status().ToString());
+  for (const std::string& payload : payloads) {
+    auto seq = client->IngestBatch(*session, payload);
+    if (!seq.ok()) return Fail(seq.status().ToString());
+  }
+  std::printf("streamed %zu batches to session %s\n", payloads.size(),
+              session->c_str());
+
+  auto describe = client->GetSchema(*session, "describe");
+  if (!describe.ok()) return Fail(describe.status().ToString());
+  std::printf("%s", describe->c_str());
+
+  if (args.Has("out")) {
+    const std::string prefix = args.Get("out");
+    auto pgs = client->GetSchema(*session,
+                                 args.Has("loose") ? "pgs-loose" : "pgs");
+    if (!pgs.ok()) return Fail(pgs.status().ToString());
+    auto xsd = client->GetSchema(*session, "xsd");
+    if (!xsd.ok()) return Fail(xsd.status().ToString());
+    std::ofstream pgs_out(prefix + ".pgs");
+    pgs_out << *pgs;
+    std::ofstream xsd_out(prefix + ".xsd");
+    xsd_out << *xsd;
+    if (!pgs_out || !xsd_out) return Fail("cannot write " + prefix + ".*");
+    std::printf("wrote %s.pgs and %s.xsd\n", prefix.c_str(), prefix.c_str());
+  }
+  util::Status closed = client->CloseSession(*session);
+  if (!closed.ok()) return Fail(closed.ToString());
   return 0;
 }
 
@@ -279,13 +328,17 @@ int main(int argc, char** argv) {
   if (args.command == "import") return CmdImport(args);
   if (args.command == "generate") return CmdGenerate(args);
   if (args.command == "validate") return CmdValidate(args);
+  if (args.command == "client") return CmdClient(args);
   std::fprintf(stderr,
-               "usage: pghive <discover|import|generate|validate> [options]\n"
+               "usage: pghive <discover|import|generate|validate|client>"
+               " [options]\n"
                "  discover --graph FILE [--method elsh|minhash] [--batches N]"
                " [--out PREFIX] [--loose] [--threads N] [--pipeline-depth D]"
                " [--data-plane columnar|row] [--shards N]\n"
                "  import   --nodes a.csv,b.csv --edges rels.csv --out g.pg\n"
                "  generate --dataset POLE [--scale 1.0] [--seed 42] --out g.pg\n"
-               "  validate --graph g.pg --schema s.pgs [--strict]\n");
+               "  validate --graph g.pg --schema s.pgs [--strict]\n"
+               "  client   --graph FILE (--port N | --port-file FILE)"
+               " [--batches N] [--out PREFIX] [--loose] [discover knobs]\n");
   return args.command.empty() ? 1 : 1;
 }

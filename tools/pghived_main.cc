@@ -1,0 +1,102 @@
+// pghived — the PG-HIVE schema-discovery daemon.
+//
+//   pghived [--port N] [--port-file PATH] [--threads N] [--max-sessions N]
+//
+// Listens on 127.0.0.1 (port 0 picks an ephemeral port, written to
+// --port-file so scripts can find it) and serves the line protocol described
+// in src/service/protocol.h. Every session's discovery compute runs on one
+// shared thread pool; SIGINT/SIGTERM trigger a graceful shutdown that stops
+// accepting, finishes in-flight requests, and drains every session's queued
+// jobs before exiting.
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "service/server.h"
+#include "util/parse.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int /*signum*/) { g_stop = 1; }
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "pghived: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return Fail("unknown argument '" + arg + "'");
+    }
+    std::string key = arg.substr(2);
+    std::string value;
+    size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      return Fail("--" + key + " needs a value");
+    }
+    options[key] = value;
+  }
+
+  pghive::service::PghivedServer::Options server_options;
+  std::string port_file;
+  for (const auto& [key, value] : options) {
+    if (key == "port") {
+      auto port = pghive::util::ParseInt64InRange(value, 0, 65535, "--port");
+      if (!port.ok()) return Fail(port.status().ToString());
+      server_options.port = static_cast<uint16_t>(*port);
+    } else if (key == "port-file") {
+      port_file = value;
+    } else if (key == "threads") {
+      auto threads =
+          pghive::util::ParseInt64InRange(value, 0, 4096, "--threads");
+      if (!threads.ok()) return Fail(threads.status().ToString());
+      server_options.threads = static_cast<size_t>(*threads);
+    } else if (key == "max-sessions") {
+      auto max = pghive::util::ParseInt64InRange(value, 1, 1000000,
+                                                 "--max-sessions");
+      if (!max.ok()) return Fail(max.status().ToString());
+      server_options.max_sessions = static_cast<size_t>(*max);
+    } else {
+      return Fail("unknown option --" + key);
+    }
+  }
+
+  pghive::service::PghivedServer server(server_options);
+  auto status = server.Start();
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("pghived listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << server.port() << '\n';
+    if (!out) return Fail("cannot write " + port_file);
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("pghived: draining and shutting down\n");
+  server.Stop();
+  return 0;
+}
