@@ -1,7 +1,9 @@
 #ifndef PGHIVE_CORE_PGHIVE_H_
 #define PGHIVE_CORE_PGHIVE_H_
 
+#include <iosfwd>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -243,6 +245,31 @@ class PgHive {
   /// Either the shared pool passed at construction or the owned one.
   util::ThreadPool* pool() const { return pool_; }
 
+  /// Writes a versioned snapshot of the full cross-batch discovery state:
+  /// the vocabulary (all three interners), the incremental Word2Vec weights,
+  /// the running schema, cumulative statistics, the options fingerprint, and
+  /// the batch cursor. Format: "PGHS" magic + u32 version, then CRC-framed
+  /// util/binio sections, so a flipped bit or truncated file is rejected on
+  /// restore instead of silently corrupting discovery. Snapshotting is only
+  /// meaningful at a batch boundary (between ProcessBatch calls, or after a
+  /// BatchPipeline::Run returned) — mid-pipeline the preprocess of a later
+  /// batch may already have advanced the vocabulary. A failed hive cannot be
+  /// snapshotted.
+  util::Status SaveState(std::ostream& out) const;
+
+  /// Restores a SaveState snapshot into a freshly created hive: same
+  /// discovery-relevant options (method, embedder, dim, LSH parameters,
+  /// thresholds, datatype sampling, seed — execution-plan knobs like
+  /// threads/pipeline-depth/shards/data-plane may differ, their byte-
+  /// identity contracts make them free to change across a resume), zero
+  /// batches processed, and a graph whose vocabulary is position-consistent
+  /// with the snapshot (empty, or reloaded from the same graph file).
+  /// Returns the number of batches the snapshotted run had already merged;
+  /// continuing with the remaining batches reproduces the uninterrupted
+  /// run's schema byte for byte. On failure the hive may be partially
+  /// mutated and must be discarded.
+  util::StatusOr<uint64_t> RestoreState(std::istream& in);
+
  private:
   lsh::ClusterSet ClusterNodes(const pg::GraphBatch& batch,
                                const FeatureMatrix& features,
@@ -299,6 +326,13 @@ class PgHive {
 /// given options (static mode).
 util::StatusOr<SchemaGraph> DiscoverSchema(pg::PropertyGraph* graph,
                                          const PgHiveOptions& options = {});
+
+/// Reads only the options section out of a PgHive::SaveState snapshot —
+/// how pghived's load-state path learns which options to construct the
+/// restored session with before any heavy state is touched. Verifies the
+/// header, the section framing/CRC, and the parsed options themselves
+/// (PgHiveOptions::Validate).
+util::StatusOr<PgHiveOptions> ReadSnapshotOptions(const std::string& bytes);
 
 }  // namespace pghive::core
 

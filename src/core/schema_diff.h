@@ -1,0 +1,92 @@
+#ifndef PGHIVE_CORE_SCHEMA_DIFF_H_
+#define PGHIVE_CORE_SCHEMA_DIFF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "pg/vocabulary.h"
+#include "util/status.h"
+
+namespace pghive::core {
+
+/// What happened to one property of a type between two schema versions.
+struct PropertyDelta {
+  enum class Kind : uint8_t {
+    kAdded = 0,
+    kRemoved = 1,
+    kRetyped = 2,
+    kRequirednessChanged = 3,
+  };
+  Kind kind = Kind::kAdded;
+  std::string key;  ///< Property key name (resolved, self-contained).
+  pg::DataType old_type = pg::DataType::kNull;  ///< kRetyped only.
+  pg::DataType new_type = pg::DataType::kNull;  ///< kAdded / kRetyped.
+  Requiredness old_requiredness = Requiredness::kOptional;
+  Requiredness new_requiredness = Requiredness::kOptional;
+};
+
+/// One node or edge type that appeared, disappeared, or changed between two
+/// schema versions. All names are resolved to strings at diff time so a
+/// changefeed consumer needs no access to the producing hive's vocabulary.
+struct TypeDelta {
+  enum class Kind : uint8_t { kAdded = 0, kRemoved = 1, kChanged = 2 };
+  Kind kind = Kind::kAdded;
+  bool is_edge = false;
+  std::string name;  ///< Display name ("Person", "Org|Company", "Abstract#3").
+  /// Change in supporting instances (negative under instance decay/removal).
+  int64_t instance_delta = 0;
+  std::vector<PropertyDelta> properties;
+  // Edge types only:
+  CardinalityKind old_cardinality = CardinalityKind::kUnknown;
+  CardinalityKind new_cardinality = CardinalityKind::kUnknown;
+  uint64_t endpoints_added = 0;    ///< New (src, dst) endpoint pairs.
+  uint64_t endpoints_removed = 0;  ///< Endpoint pairs no longer observed.
+};
+
+/// One changefeed record: everything that changed between two published
+/// schema versions. Versions are the producer's monotonically increasing
+/// counters (batches merged for the CLI, versions published for pghived).
+struct SchemaDiff {
+  uint64_t version_from = 0;
+  uint64_t version_to = 0;
+  uint64_t batch = 0;  ///< Batches merged when `version_to` was produced.
+  std::vector<TypeDelta> node_deltas;
+  std::vector<TypeDelta> edge_deltas;
+
+  bool empty() const { return node_deltas.empty() && edge_deltas.empty(); }
+};
+
+/// Structural diff of two schemas produced by the *same* hive (ids in both
+/// resolve through `vocab`). Types are matched by label set — the stable
+/// identity across batch merges — with positional pairing among types that
+/// share one (abstract types all share the empty set). Unmatched types in
+/// `prev` become kRemoved deltas, unmatched in `next` kAdded, and matched
+/// pairs that differ in properties, instance count, cardinality, or
+/// endpoints become kChanged. Deterministic: output order follows `next`'s
+/// type order, then `prev`'s for removals.
+SchemaDiff DiffSchemas(const SchemaGraph& prev, const SchemaGraph& next,
+                       const pg::Vocabulary& vocab);
+
+/// Binary changefeed record: "PGHF" magic + u8 format version + one
+/// CRC-framed util/binio section holding the record payload. Records are
+/// designed to be appended to a feed file back to back.
+std::string SerializeSchemaDiffBinary(const SchemaDiff& diff);
+
+/// Parses a feed of zero or more concatenated SerializeSchemaDiffBinary
+/// records. Truncation, bit flips (CRC), and malformed payloads fail with
+/// ParseError; untrusted counts are clamped against the remaining input
+/// before any allocation.
+util::StatusOr<std::vector<SchemaDiff>> ParseSchemaDiffStream(
+    const std::string& bytes);
+
+/// Human-readable rendering, one line per delta:
+///   == v3 -> v4 (batch 4): 2 node / 1 edge deltas
+///   + node Person|Student (+120 instances)
+///   ~ edge KNOWS: property since retyped DATE -> DATETIME
+std::string DescribeSchemaDiff(const SchemaDiff& diff);
+
+}  // namespace pghive::core
+
+#endif  // PGHIVE_CORE_SCHEMA_DIFF_H_

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <sstream>
 
+#include "util/binio.h"
+
 namespace pghive::core {
 
 namespace {
@@ -206,76 +208,20 @@ namespace {
 
 // --- Binary schema snapshot ------------------------------------------------
 //
-// Everything is little-endian and length-prefixed; there are no implicit
-// sizes, so a reader can validate the payload before building any structure.
+// Everything is little-endian and length-prefixed (util/binio framing);
+// there are no implicit sizes, so a reader can validate the payload before
+// building any structure.
 
 constexpr char kBinaryMagic[4] = {'P', 'G', 'H', 'B'};
 constexpr uint32_t kBinaryVersion = 1;
 
-void PutU8(std::string* out, uint8_t v) {
-  out->push_back(static_cast<char>(v));
-}
-
-void PutU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-/// Sequential little-endian reader over the payload. Every Read* checks
-/// remaining bytes; the first failure latches into `ok` so callers can
-/// string reads together and test once.
-struct BinaryReader {
-  const std::string& bytes;
-  size_t pos = 0;
-  bool ok = true;
-
-  bool Has(size_t n) {
-    if (!ok || bytes.size() - pos < n) ok = false;
-    return ok;
-  }
-  uint8_t ReadU8() {
-    if (!Has(1)) return 0;
-    return static_cast<uint8_t>(bytes[pos++]);
-  }
-  uint32_t ReadU32() {
-    if (!Has(4)) return 0;
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[pos++])) << (8 * i);
-    }
-    return v;
-  }
-  uint64_t ReadU64() {
-    if (!Has(8)) return 0;
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[pos++])) << (8 * i);
-    }
-    return v;
-  }
-};
-
-void PutU32Vector(std::string* out, const std::vector<uint32_t>& v) {
-  PutU64(out, v.size());
-  for (uint32_t x : v) PutU32(out, x);
-}
-
-void PutU64Vector(std::string* out, const std::vector<uint64_t>& v) {
-  PutU64(out, v.size());
-  for (uint64_t x : v) PutU64(out, x);
-}
-
-void PutU64Set(std::string* out, const std::set<uint64_t>& v) {
-  PutU64(out, v.size());
-  for (uint64_t x : v) PutU64(out, x);
-}
+using util::ByteReader;
+using util::PutU32;
+using util::PutU32Vector;
+using util::PutU64;
+using util::PutU64Set;
+using util::PutU64Vector;
+using util::PutU8;
 
 void PutProperties(std::string* out,
                    const std::map<pg::PropKeyId, PropertyInfo>& props) {
@@ -288,55 +234,25 @@ void PutProperties(std::string* out,
   }
 }
 
-/// Bounds a length prefix: a valid count can never exceed the payload size,
-/// so this also blocks n*width overflow before any reserve().
-bool SaneCount(BinaryReader* in, uint64_t n, uint64_t width) {
-  if (n > in->bytes.size() || !in->Has(n * width)) {
-    in->ok = false;
-    return false;
-  }
-  return true;
-}
-
-bool ReadU32Vector(BinaryReader* in, std::vector<uint32_t>* v) {
-  uint64_t n = in->ReadU64();
-  if (!SaneCount(in, n, 4)) return false;
-  v->reserve(n);
-  for (uint64_t i = 0; i < n; ++i) v->push_back(in->ReadU32());
-  return in->ok;
-}
-
-bool ReadU64Vector(BinaryReader* in, std::vector<uint64_t>* v) {
-  uint64_t n = in->ReadU64();
-  if (!SaneCount(in, n, 8)) return false;
-  v->reserve(n);
-  for (uint64_t i = 0; i < n; ++i) v->push_back(in->ReadU64());
-  return in->ok;
-}
-
-bool ReadU64Set(BinaryReader* in, std::set<uint64_t>* v) {
-  uint64_t n = in->ReadU64();
-  if (!SaneCount(in, n, 8)) return false;
-  for (uint64_t i = 0; i < n; ++i) v->insert(in->ReadU64());
-  return in->ok;
-}
-
-bool ReadProperties(BinaryReader* in,
+bool ReadProperties(ByteReader* in,
                     std::map<pg::PropKeyId, PropertyInfo>* props) {
   uint64_t n = in->ReadU64();
-  if (!SaneCount(in, n, 14)) return false;
+  if (!in->SaneCount(n, 14)) return false;
   for (uint64_t i = 0; i < n; ++i) {
     pg::PropKeyId key = in->ReadU32();
     PropertyInfo info;
     info.count = in->ReadU64();
     uint8_t type = in->ReadU8();
-    if (type > static_cast<uint8_t>(pg::DataType::kString)) return false;
+    if (type > static_cast<uint8_t>(pg::DataType::kString)) {
+      in->Fail();
+      return false;
+    }
     info.data_type = static_cast<pg::DataType>(type);
     info.requiredness =
         in->ReadU8() != 0 ? Requiredness::kMandatory : Requiredness::kOptional;
     (*props)[key] = info;
   }
-  return in->ok;
+  return in->ok();
 }
 
 }  // namespace
@@ -373,13 +289,13 @@ std::string SerializeSchemaBinary(const SchemaGraph& schema) {
 }
 
 util::StatusOr<SchemaGraph> ParseSchemaBinary(const std::string& bytes) {
-  BinaryReader in{bytes};
+  ByteReader in(bytes);
   if (!in.Has(sizeof(kBinaryMagic)) ||
       bytes.compare(0, sizeof(kBinaryMagic), kBinaryMagic,
                     sizeof(kBinaryMagic)) != 0) {
     return util::Status::ParseError("schema binary: bad magic");
   }
-  in.pos = sizeof(kBinaryMagic);
+  in.ReadBytes(sizeof(kBinaryMagic));
   uint32_t version = in.ReadU32();
   if (version != kBinaryVersion) {
     return util::Status::ParseError("schema binary: unsupported version " +
@@ -388,26 +304,29 @@ util::StatusOr<SchemaGraph> ParseSchemaBinary(const std::string& bytes) {
   uint64_t num_node_types = in.ReadU64();
   uint64_t num_edge_types = in.ReadU64();
   SchemaGraph schema;
-  for (uint64_t i = 0; i < num_node_types && in.ok; ++i) {
+  for (uint64_t i = 0; i < num_node_types && in.ok(); ++i) {
     NodeType t;
-    bool fields_ok = ReadU32Vector(&in, &t.labels) &&
-                     ReadProperties(&in, &t.properties) &&
-                     ReadU64Vector(&in, &t.instances);
+    if (!in.ReadU32Vector(&t.labels) || !ReadProperties(&in, &t.properties) ||
+        !in.ReadU64Vector(&t.instances)) {
+      break;
+    }
     t.instance_count = in.ReadU64();
-    fields_ok = fields_ok && ReadU64Set(&in, &t.pattern_hashes);
-    if (!fields_ok || !in.ok) break;
+    if (!in.ReadU64Set(&t.pattern_hashes) || !in.ok()) break;
     schema.node_types().push_back(std::move(t));
   }
-  for (uint64_t i = 0; i < num_edge_types && in.ok; ++i) {
+  for (uint64_t i = 0; i < num_edge_types && in.ok(); ++i) {
     EdgeType t;
-    bool fields_ok = ReadU32Vector(&in, &t.labels) &&
-                     ReadProperties(&in, &t.properties) &&
-                     ReadU64Vector(&in, &t.instances);
+    // Each field stops the parse immediately on a bad length prefix, so a
+    // corrupt early field can never let a later untrusted count through.
+    if (!in.ReadU32Vector(&t.labels) || !ReadProperties(&in, &t.properties) ||
+        !in.ReadU64Vector(&t.instances)) {
+      break;
+    }
     t.instance_count = in.ReadU64();
-    fields_ok = fields_ok && ReadU64Set(&in, &t.pattern_hashes);
+    if (!in.ReadU64Set(&t.pattern_hashes)) break;
     uint64_t num_endpoints = in.ReadU64();
-    fields_ok = fields_ok && SaneCount(&in, num_endpoints, 8);
-    for (uint64_t e = 0; e < num_endpoints && in.ok; ++e) {
+    if (!in.SaneCount(num_endpoints, 8)) break;
+    for (uint64_t e = 0; e < num_endpoints && in.ok(); ++e) {
       uint32_t src = in.ReadU32();
       uint32_t dst = in.ReadU32();
       t.endpoints.emplace(src, dst);
@@ -419,11 +338,11 @@ util::StatusOr<SchemaGraph> ParseSchemaBinary(const std::string& bytes) {
       return util::Status::ParseError("schema binary: bad cardinality kind");
     }
     t.cardinality.kind = static_cast<CardinalityKind>(kind);
-    if (!fields_ok || !in.ok) break;
+    if (!in.ok()) break;
     schema.edge_types().push_back(std::move(t));
   }
-  if (!in.ok || schema.num_node_types() != num_node_types ||
-      schema.num_edge_types() != num_edge_types || in.pos != bytes.size()) {
+  if (!in.ok() || schema.num_node_types() != num_node_types ||
+      schema.num_edge_types() != num_edge_types || !in.AtEnd()) {
     return util::Status::ParseError(
         "schema binary: truncated or trailing payload");
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "util/binio.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -237,6 +238,39 @@ void Word2Vec::Embed(pg::LabelSetToken token, float* out) const {
       out[d] = static_cast<float>(out[d] * out_inv);
     }
   }
+}
+
+void Word2Vec::AppendStateTo(std::string* out) const {
+  util::PutU64(out, options_.dim);
+  util::PutF32Vector(out, input_);
+  util::PutF32Vector(out, output_);
+}
+
+util::Status Word2Vec::RestoreState(std::string_view bytes) {
+  util::ByteReader in(bytes);
+  uint64_t dim = in.ReadU64();
+  std::vector<float> input;
+  std::vector<float> output;
+  in.ReadF32Vector(&input);
+  in.ReadF32Vector(&output);
+  if (!in.ok() || !in.AtEnd()) {
+    return util::Status::ParseError("word2vec snapshot: truncated or corrupt");
+  }
+  if (dim != options_.dim) {
+    return util::Status::FailedPrecondition(
+        "word2vec snapshot: dim " + std::to_string(dim) +
+        " does not match the configured dim " +
+        std::to_string(options_.dim));
+  }
+  if (input.size() != output.size() || input.size() % options_.dim != 0) {
+    return util::Status::ParseError(
+        "word2vec snapshot: weight matrices are inconsistent (" +
+        std::to_string(input.size()) + " vs " +
+        std::to_string(output.size()) + " floats)");
+  }
+  input_ = std::move(input);
+  output_ = std::move(output);
+  return util::Status::Ok();
 }
 
 float Word2Vec::Similarity(pg::LabelSetToken a, pg::LabelSetToken b) const {

@@ -1,10 +1,13 @@
 #ifndef PGHIVE_EMBED_WORD2VEC_H_
 #define PGHIVE_EMBED_WORD2VEC_H_
 
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "embed/corpus.h"
 #include "embed/embedder.h"
+#include "util/status.h"
 
 namespace pghive::util {
 class ThreadPool;
@@ -75,6 +78,20 @@ class Word2Vec : public LabelEmbedder {
 
   /// Number of token rows currently allocated.
   size_t num_rows() const { return input_.size() / options_.dim; }
+
+  /// Appends the trained model state — dim plus the input and output weight
+  /// matrices as bit-exact float payloads — to `out` (util/binio framing).
+  /// The embedder section of a PgHive state snapshot: restoring these rows
+  /// and continuing training reproduces an uninterrupted run exactly,
+  /// because Train has no other cross-call state.
+  void AppendStateTo(std::string* out) const;
+
+  /// Restores weights written by AppendStateTo. Rejects a dim mismatch with
+  /// FailedPrecondition (the snapshot belongs to a differently-configured
+  /// embedder) and corrupt payloads — truncation, matrix size mismatch, a
+  /// row count that is not a whole number of dim-sized rows — with
+  /// ParseError, leaving the model untouched either way.
+  util::Status RestoreState(std::string_view bytes);
 
  private:
   void EnsureCapacity(size_t vocab_size);

@@ -197,8 +197,12 @@ util::Status SaveGraphFile(const PropertyGraph& graph,
   return util::Status::Ok();
 }
 
-util::StatusOr<PropertyGraph> LoadGraphText(const std::string& text) {
-  PropertyGraph graph;
+util::Status LoadGraphTextInto(const std::string& text,
+                               PropertyGraph* graph) {
+  if (graph->num_nodes() != 0 || graph->num_edges() != 0) {
+    return util::Status::FailedPrecondition(
+        "LoadGraphTextInto needs a graph without nodes or edges");
+  }
   std::istringstream in(text);
   std::string line;
   size_t line_no = 0;
@@ -212,29 +216,37 @@ util::StatusOr<PropertyGraph> LoadGraphText(const std::string& text) {
     }
     const ElementRecord& record = *parsed;
     if (!record.is_edge) {
-      NodeId nid = graph.AddNode(record.labels);
+      NodeId nid = graph->AddNode(record.labels);
       if (nid != record.id) {
         return util::Status::ParseError("node ids must be dense, line " +
                                         std::to_string(line_no));
       }
       for (const auto& [key, value] : record.properties) {
-        graph.SetNodeProperty(nid, key, value);
+        graph->SetNodeProperty(nid, key, value);
       }
     } else {
-      if (record.src >= graph.num_nodes() || record.dst >= graph.num_nodes()) {
+      if (record.src >= graph->num_nodes() ||
+          record.dst >= graph->num_nodes()) {
         return util::Status::ParseError("edge endpoint out of range, line " +
                                         std::to_string(line_no));
       }
-      EdgeId eid = graph.AddEdge(record.src, record.dst, record.labels);
+      EdgeId eid = graph->AddEdge(record.src, record.dst, record.labels);
       if (eid != record.id) {
         return util::Status::ParseError("edge ids must be dense, line " +
                                         std::to_string(line_no));
       }
       for (const auto& [key, value] : record.properties) {
-        graph.SetEdgeProperty(eid, key, value);
+        graph->SetEdgeProperty(eid, key, value);
       }
     }
   }
+  return util::Status::Ok();
+}
+
+util::StatusOr<PropertyGraph> LoadGraphText(const std::string& text) {
+  PropertyGraph graph;
+  util::Status status = LoadGraphTextInto(text, &graph);
+  if (!status.ok()) return status;
   return graph;
 }
 

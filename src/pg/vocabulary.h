@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/status.h"
 #include "util/string_interner.h"
 
 namespace pghive::pg {
@@ -61,6 +62,20 @@ class Vocabulary {
   }
 
   size_t num_tokens() const { return tokens_.size(); }
+
+  /// Appends all three interners (labels, keys, tokens) in id order — the
+  /// vocabulary section of a PgHive state snapshot (util/binio framing).
+  void AppendStateTo(std::string* out) const;
+
+  /// Restores the interners from AppendStateTo bytes. Succeeds only when the
+  /// current contents are position-consistent with the snapshot: every
+  /// string interned so far must sit at the same id in the snapshot. That
+  /// holds for an empty vocabulary (the pghived load-state path) and for one
+  /// rebuilt by reloading the graph file the snapshotted run had loaded (the
+  /// CLI --resume-from path); anything else means the snapshot belongs to a
+  /// different graph and fails with FailedPrecondition, leaving the
+  /// vocabulary untouched. Corrupt bytes fail with ParseError.
+  util::Status RestoreState(std::string_view bytes);
 
  private:
   util::StringInterner labels_;

@@ -4,11 +4,19 @@
 #include <utility>
 
 #include "pg/graph_io.h"
+#include "util/binio.h"
 #include "util/parse.h"
 
 namespace pghive::service {
 
 namespace {
+
+/// Hard ceiling on the element counts a G header may declare. The header
+/// pre-sizes the graph with placeholders, so an unchecked count would let a
+/// one-line request allocate unbounded memory; 2^28 elements is far above
+/// any real dataset while keeping the worst-case placeholder allocation in
+/// the low gigabytes.
+constexpr uint64_t kMaxDeclaredElements = uint64_t{1} << 28;
 
 util::StatusOr<uint64_t> ParseId(const std::string& text,
                                  const std::string& what) {
@@ -17,6 +25,35 @@ util::StatusOr<uint64_t> ParseId(const std::string& text,
     return util::Status::ParseError("bad " + what + " '" + text + "'");
   }
   return static_cast<uint64_t>(*parsed);
+}
+
+void PutBitmap(std::string* out, const std::vector<bool>& bits) {
+  util::PutU64(out, bits.size());
+  uint8_t byte = 0;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) byte |= static_cast<uint8_t>(1u << (i % 8));
+    if (i % 8 == 7) {
+      util::PutU8(out, byte);
+      byte = 0;
+    }
+  }
+  if (bits.size() % 8 != 0) util::PutU8(out, byte);
+}
+
+bool ReadBitmap(util::ByteReader* in, std::vector<bool>* bits) {
+  uint64_t n = in->ReadU64();
+  // Bit-packed: n bits need ceil(n/8) bytes of remaining input.
+  if (!in->ok() || !in->Has((n + 7) / 8)) {
+    in->Fail();
+    return false;
+  }
+  bits->assign(n, false);
+  uint8_t byte = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (i % 8 == 0) byte = in->ReadU8();
+    (*bits)[i] = (byte >> (i % 8)) & 1;
+  }
+  return in->ok();
 }
 
 }  // namespace
@@ -80,6 +117,12 @@ util::Status GraphAssembler::ApplyHeader(const std::string& line) {
   ls >> num_edges;
   if (num_edges > 0 && num_nodes == 0) {
     return util::Status::ParseError("edges declared on a node-less graph");
+  }
+  if (num_nodes > kMaxDeclaredElements || num_edges > kMaxDeclaredElements) {
+    return util::Status::OutOfRange(
+        "G header declares " + std::to_string(num_nodes) + " nodes / " +
+        std::to_string(num_edges) + " edges; the limit is " +
+        std::to_string(kMaxDeclaredElements) + " each");
   }
   // Placeholders give the graph its final shape up front: dense ids and the
   // same num_nodes()/num_edges() the one-shot run sees from batch 1 on.
@@ -192,6 +235,41 @@ util::Status GraphAssembler::MaterializeEdge(const std::string& line,
   edge_filled_[record.id] = true;
   ++edges_filled_;
   batch->edge_ids.push_back(record.id);
+  return util::Status::Ok();
+}
+
+void GraphAssembler::AppendStateTo(std::string* out) const {
+  util::PutU8(out, sized_ ? 1 : 0);
+  PutBitmap(out, node_filled_);
+  PutBitmap(out, edge_filled_);
+}
+
+util::Status GraphAssembler::RestoreState(std::string_view bytes) {
+  util::ByteReader in(bytes);
+  uint8_t sized = in.ReadU8();
+  std::vector<bool> node_filled;
+  std::vector<bool> edge_filled;
+  if (sized > 1 || !ReadBitmap(&in, &node_filled) ||
+      !ReadBitmap(&in, &edge_filled) || !in.ok() || !in.AtEnd()) {
+    return util::Status::ParseError(
+        "assembler snapshot: truncated or corrupt");
+  }
+  if (node_filled.size() != graph_->num_nodes() ||
+      edge_filled.size() != graph_->num_edges()) {
+    return util::Status::FailedPrecondition(
+        "assembler snapshot does not match the replayed graph (" +
+        std::to_string(node_filled.size()) + "/" +
+        std::to_string(edge_filled.size()) + " vs " +
+        std::to_string(graph_->num_nodes()) + "/" +
+        std::to_string(graph_->num_edges()) + " elements)");
+  }
+  sized_ = sized != 0;
+  node_filled_ = std::move(node_filled);
+  edge_filled_ = std::move(edge_filled);
+  nodes_filled_ = 0;
+  for (bool b : node_filled_) nodes_filled_ += b ? 1 : 0;
+  edges_filled_ = 0;
+  for (bool b : edge_filled_) edges_filled_ += b ? 1 : 0;
   return util::Status::Ok();
 }
 

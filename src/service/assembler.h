@@ -2,6 +2,7 @@
 #define PGHIVE_SERVICE_ASSEMBLER_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "pg/batch.h"
@@ -47,6 +48,17 @@ class GraphAssembler {
 
   size_t nodes_filled() const { return nodes_filled_; }
   size_t edges_filled() const { return edges_filled_; }
+
+  /// Appends the assembler's stream-progress state (sized flag and the two
+  /// fill bitmaps, bit-packed) — the assembler section of a pghived session
+  /// snapshot (util/binio framing). The graph contents themselves are saved
+  /// separately as graph text.
+  void AppendStateTo(std::string* out) const;
+
+  /// Restores AppendStateTo bytes. The attached graph must already hold the
+  /// replayed stream (bitmap sizes are validated against it); corrupt bytes
+  /// fail with ParseError, a size mismatch with FailedPrecondition.
+  util::Status RestoreState(std::string_view bytes);
 
  private:
   util::Status ApplyLine(const std::string& line, pg::GraphBatch* batch);

@@ -102,6 +102,9 @@ util::Status PghivedClient::Ping() {
 util::StatusOr<std::string> PghivedClient::CreateSession(
     const std::map<std::string, std::string>& option_flags) {
   std::string line = "create-session";
+  if (option_flags.find("proto") == option_flags.end()) {
+    line += " proto=" + std::to_string(kProtocolVersion);
+  }
   for (const auto& [key, value] : option_flags) {
     line += ' ' + key + '=' + value;
   }
@@ -158,6 +161,51 @@ util::StatusOr<ValidationResult> PghivedClient::Validate(
   result.conforms = response->info == "valid";
   result.report = std::move(response->body);
   return result;
+}
+
+util::StatusOr<uint64_t> PghivedClient::SaveState(const std::string& session,
+                                                  const std::string& path) {
+  auto response = RoundTrip("save-state " + session + ' ' + path);
+  if (!response.ok()) return response.status();
+  std::istringstream info(response->info);
+  std::string tag, id, bytes_tag, bytes;
+  if (!(info >> tag >> id >> bytes_tag >> bytes) || tag != "saved" ||
+      bytes_tag != "bytes") {
+    return util::Status::ParseError("unexpected save-state reply '" +
+                                    response->info + "'");
+  }
+  auto parsed = util::ParseInt64(bytes);
+  if (!parsed.ok() || *parsed < 0) {
+    return util::Status::ParseError("bad snapshot size '" + bytes + "'");
+  }
+  return static_cast<uint64_t>(*parsed);
+}
+
+util::StatusOr<PghivedClient::RestoredSession> PghivedClient::LoadState(
+    const std::string& path) {
+  auto response = RoundTrip("load-state " + path);
+  if (!response.ok()) return response.status();
+  std::istringstream info(response->info);
+  std::string tag, id, batches_tag, batches;
+  if (!(info >> tag >> id >> batches_tag >> batches) || tag != "session" ||
+      batches_tag != "batches") {
+    return util::Status::ParseError("unexpected load-state reply '" +
+                                    response->info + "'");
+  }
+  auto parsed = util::ParseInt64(batches);
+  if (!parsed.ok() || *parsed < 0) {
+    return util::Status::ParseError("bad batch count '" + batches + "'");
+  }
+  return RestoredSession{id, static_cast<uint64_t>(*parsed)};
+}
+
+util::StatusOr<std::string> PghivedClient::SubscribeChangefeed(
+    const std::string& session, uint64_t after_version, uint64_t timeout_ms) {
+  auto response =
+      RoundTrip("subscribe-changefeed " + session + ' ' +
+                std::to_string(after_version) + ' ' + std::to_string(timeout_ms));
+  if (!response.ok()) return response.status();
+  return std::move(response->body);
 }
 
 util::Status PghivedClient::CloseSession(const std::string& session) {

@@ -52,6 +52,28 @@ class PghivedClient {
                                             bool strict,
                                             const std::string& pgs_text);
 
+  /// Serializes the session to `path` on the *server's* filesystem; returns
+  /// the snapshot size in bytes.
+  util::StatusOr<uint64_t> SaveState(const std::string& session,
+                                     const std::string& path);
+
+  /// A session restored by LoadState: its fresh id and how many batches the
+  /// snapshot already holds (the client skips that many payloads on resume).
+  struct RestoredSession {
+    std::string id;
+    uint64_t batches = 0;
+  };
+
+  /// Restores a server-side SaveState file as a new session.
+  util::StatusOr<RestoredSession> LoadState(const std::string& path);
+
+  /// Long-polls the session's schema changefeed; returns concatenated
+  /// core::SchemaDiff records with version > after_version (empty string if
+  /// `timeout_ms` elapsed first). Parse with core::ParseSchemaDiffStream.
+  util::StatusOr<std::string> SubscribeChangefeed(const std::string& session,
+                                                  uint64_t after_version,
+                                                  uint64_t timeout_ms);
+
   util::Status CloseSession(const std::string& session);
 
  private:

@@ -82,21 +82,17 @@ void SocketStream::Close() {
   }
 }
 
-bool SocketStream::Fill(util::Status* status) {
+util::StatusOr<size_t> SocketStream::Fill() {
   char chunk[4096];
   for (;;) {
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n > 0) {
       buffer_.append(chunk, static_cast<size_t>(n));
-      return true;
+      return static_cast<size_t>(n);
     }
-    if (n == 0) {
-      *status = util::Status::NotFound("connection closed");
-      return false;
-    }
+    if (n == 0) return util::Status::NotFound("connection closed");
     if (errno == EINTR) continue;
-    *status = Errno("recv");
-    return false;
+    return Errno("recv");
   }
 }
 
@@ -110,15 +106,16 @@ util::StatusOr<std::string> SocketStream::ReadLine() {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       return line;
     }
-    util::Status status;
-    if (!Fill(&status)) {
+    auto filled = Fill();
+    if (!filled.ok()) {
       // Bytes without a final newline count as a (last) line.
-      if (status.code() == util::StatusCode::kNotFound && !buffer_.empty()) {
+      if (filled.status().code() == util::StatusCode::kNotFound &&
+          !buffer_.empty()) {
         std::string line = std::move(buffer_);
         buffer_.clear();
         return line;
       }
-      return status;
+      return filled.status();
     }
   }
 }
@@ -126,8 +123,8 @@ util::StatusOr<std::string> SocketStream::ReadLine() {
 util::Status SocketStream::ReadExact(size_t n, std::string* out) {
   if (fd_ < 0) return util::Status::NotFound("connection closed");
   while (buffer_.size() < n) {
-    util::Status status;
-    if (!Fill(&status)) return status;
+    auto filled = Fill();
+    if (!filled.ok()) return filled.status();
   }
   *out = buffer_.substr(0, n);
   buffer_.erase(0, n);

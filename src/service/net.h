@@ -53,8 +53,10 @@ class SocketStream {
   int fd() const { return fd_; }
 
  private:
-  /// Pulls more bytes into buffer_; false on EOF/error (status in *status).
-  bool Fill(util::Status* status);
+  /// Pulls more bytes into buffer_ and returns how many arrived (> 0).
+  /// Orderly EOF is NotFound("connection closed"), IO failures IoError —
+  /// StatusOr-first like every other fallible surface in the repo.
+  util::StatusOr<size_t> Fill();
 
   int fd_;
   std::string buffer_;

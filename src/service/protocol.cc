@@ -1,5 +1,9 @@
 #include "service/protocol.h"
 
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <utility>
@@ -144,6 +148,11 @@ Response RequestHandler::Handle(const Request& request) {
   if (request.command == "ingest-batch") return HandleIngestBatch(request);
   if (request.command == "get-schema") return HandleGetSchema(request);
   if (request.command == "validate") return HandleValidate(request);
+  if (request.command == "save-state") return HandleSaveState(request);
+  if (request.command == "load-state") return HandleLoadState(request);
+  if (request.command == "subscribe-changefeed") {
+    return HandleSubscribeChangefeed(request);
+  }
   if (request.command == "close") return HandleClose(request);
   return ErrorResponse(util::Status::InvalidArgument(
       "unknown command '" + request.command + "'"));
@@ -159,9 +168,27 @@ Response RequestHandler::HandleCreateSession(const Request& request) {
     }
     flags[arg.substr(0, eq)] = arg.substr(eq + 1);
   }
+  // The proto= handshake is protocol plumbing, not a discovery knob: strip
+  // it before the shared options parser (which rejects unknown keys) and
+  // refuse clients from the future with a message that names both versions.
+  auto proto = flags.find("proto");
+  if (proto != flags.end()) {
+    auto version = util::ParseInt64InRange(proto->second, 1,
+                                           std::numeric_limits<int64_t>::max(),
+                                           "proto");
+    if (!version.ok()) return ErrorResponse(version.status());
+    if (static_cast<uint64_t>(*version) > kProtocolVersion) {
+      return ErrorResponse(util::Status::FailedPrecondition(
+          "client speaks protocol " + proto->second +
+          " but this pghived supports up to " +
+          std::to_string(kProtocolVersion) + "; upgrade the server"));
+    }
+    flags.erase(proto);
+  }
   auto session = manager_->CreateSession(flags);
   if (!session.ok()) return ErrorResponse(session.status());
-  return OkResponse("session " + (*session)->id());
+  return OkResponse("session " + (*session)->id() + " proto " +
+                    std::to_string(kProtocolVersion));
 }
 
 Response RequestHandler::HandleIngestBatch(const Request& request) {
@@ -221,6 +248,72 @@ Response RequestHandler::HandleValidate(const Request& request) {
   if (!result.ok()) return ErrorResponse(result.status());
   return BodyResponse(result->conforms ? "valid" : "invalid",
                       result->report);
+}
+
+Response RequestHandler::HandleSaveState(const Request& request) {
+  if (request.args.size() != 2) {
+    return ErrorResponse(util::Status::InvalidArgument(
+        "usage: save-state <session> <path>"));
+  }
+  auto session = manager_->Lookup(request.args[0]);
+  if (!session.ok()) return ErrorResponse(session.status());
+  auto bytes = (*session)->SaveState();
+  if (!bytes.ok()) return ErrorResponse(bytes.status());
+  const std::string& path = request.args[1];
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(bytes->data(), static_cast<std::streamsize>(bytes->size()));
+    if (!out) return ErrorResponse(util::Status::IoError("cannot write " + tmp));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return ErrorResponse(
+        util::Status::IoError("cannot rename " + tmp + " to " + path));
+  }
+  return OkResponse("saved " + request.args[0] + " bytes " +
+                    std::to_string(bytes->size()));
+}
+
+Response RequestHandler::HandleLoadState(const Request& request) {
+  if (request.args.size() != 1) {
+    return ErrorResponse(
+        util::Status::InvalidArgument("usage: load-state <path>"));
+  }
+  std::ifstream in(request.args[0], std::ios::binary);
+  if (!in) {
+    return ErrorResponse(
+        util::Status::IoError("cannot open " + request.args[0]));
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  auto session = manager_->CreateSessionFromState(bytes);
+  if (!session.ok()) return ErrorResponse(session.status());
+  return OkResponse("session " + (*session)->id() + " batches " +
+                    std::to_string((*session)->batches_ingested()));
+}
+
+Response RequestHandler::HandleSubscribeChangefeed(const Request& request) {
+  if (request.args.size() < 2 || request.args.size() > 3) {
+    return ErrorResponse(util::Status::InvalidArgument(
+        "usage: subscribe-changefeed <session> <after-version> [timeout-ms]"));
+  }
+  auto session = manager_->Lookup(request.args[0]);
+  if (!session.ok()) return ErrorResponse(session.status());
+  auto after = util::ParseInt64InRange(
+      request.args[1], 0, std::numeric_limits<int64_t>::max(),
+      "after-version");
+  if (!after.ok()) return ErrorResponse(after.status());
+  int64_t timeout_ms = 10000;
+  if (request.args.size() == 3) {
+    auto parsed = util::ParseInt64InRange(request.args[2], 0, 3600000,
+                                          "timeout-ms");
+    if (!parsed.ok()) return ErrorResponse(parsed.status());
+    timeout_ms = *parsed;
+  }
+  auto records = (*session)->WaitForDiffs(static_cast<uint64_t>(*after),
+                                          static_cast<uint64_t>(timeout_ms));
+  if (!records.ok()) return ErrorResponse(records.status());
+  return BodyResponse("changefeed " + request.args[0], *std::move(records));
 }
 
 Response RequestHandler::HandleClose(const Request& request) {

@@ -18,7 +18,10 @@ namespace pghive::service {
 /// follow the newline):
 ///
 ///   ping
-///   create-session [key=value ...]      knobs as in `pghive discover`
+///   create-session [proto=N] [key=value ...]  knobs as in `pghive discover`
+///       proto declares the client's protocol version (absent = 1); the
+///       server rejects versions newer than kProtocolVersion with a clear
+///       FailedPrecondition instead of misparsing unknown requests later.
 ///   ingest-batch <session> <n>  + body  one ingest payload (see assembler)
 ///   get-schema <session> <form> [snapshot]
 ///       form: pgs | pgs-loose | xsd | describe | binary
@@ -26,6 +29,16 @@ namespace pghive::service {
 ///       returns the final schema; `snapshot` returns the latest published
 ///       snapshot immediately without draining the session's lane.
 ///   validate <session> <strict|loose> <n>  + body (a PG-Schema text)
+///   save-state <session> <path>         serialize the session to a server-
+///                                       side file (Session::SaveState)
+///   load-state <path>                   restore such a file as a NEW
+///                                       session; "OK session <id> batches
+///                                       <k>" tells the client how many
+///                                       payloads to skip when resuming
+///   subscribe-changefeed <session> <after-version> [timeout-ms]
+///       long-polls for schema-diff records with version > after-version;
+///       the body is a core::ParseSchemaDiffStream byte stream (empty on
+///       timeout)
 ///   close <session>
 ///
 /// Responses:
@@ -34,6 +47,11 @@ namespace pghive::service {
 ///   OK <tokens...> body <n>\n<n bytes>\n    body-carrying variants
 ///   ERR <CODE> <escaped message>            code from util::StatusCodeName;
 ///                                           message escaped like pg fields
+
+/// The protocol version this build speaks. Version history:
+///   1 — initial protocol (create/ingest/get-schema/validate/close).
+///   2 — adds proto= handshake, save-state, load-state, subscribe-changefeed.
+constexpr uint32_t kProtocolVersion = 2;
 struct Request {
   std::string command;
   std::vector<std::string> args;  ///< Tokens after the command.
@@ -76,6 +94,9 @@ class RequestHandler {
   Response HandleIngestBatch(const Request& request);
   Response HandleGetSchema(const Request& request);
   Response HandleValidate(const Request& request);
+  Response HandleSaveState(const Request& request);
+  Response HandleLoadState(const Request& request);
+  Response HandleSubscribeChangefeed(const Request& request);
   Response HandleClose(const Request& request);
 
   SessionManager* manager_;

@@ -1,14 +1,41 @@
 #include "service/session.h"
 
+#include <algorithm>
+#include <chrono>
 #include <future>
+#include <sstream>
 #include <utility>
 
 #include "core/options.h"
 #include "core/pgschema_parser.h"
+#include "core/schema_diff.h"
 #include "core/serialize.h"
 #include "core/validator.h"
+#include "pg/graph_io.h"
+#include "util/binio.h"
 
 namespace pghive::service {
+
+namespace {
+
+constexpr char kSessionMagic[4] = {'P', 'G', 'H', 'D'};
+constexpr uint32_t kSessionVersion = 1;
+
+// Session snapshot section ids ("PGHD" container). Never renumber.
+constexpr uint32_t kGraphTextSection = 1;
+constexpr uint32_t kAssemblerSection = 2;
+constexpr uint32_t kHiveStateSection = 3;
+constexpr uint32_t kCountersSection = 4;
+
+/// Diff records retained per session for changefeed subscribers. A consumer
+/// further behind than this gets OutOfRange and must refetch the schema.
+constexpr size_t kMaxFeedBacklog = 256;
+
+/// Ceiling on one WaitForDiffs long-poll, so a subscriber can never wedge
+/// server shutdown for longer than this.
+constexpr uint64_t kMaxFeedWaitMs = 30000;
+
+}  // namespace
 
 Session::Session(std::string id, core::PgHiveOptions options,
                  util::ThreadPool* pool, JobQueue* queue)
@@ -88,7 +115,7 @@ void Session::FinishJob() {
   Publish(/*is_final=*/true);
 }
 
-void Session::Publish(bool is_final) {
+std::shared_ptr<SchemaSnapshot> Session::RenderSnapshot(bool is_final) const {
   auto snapshot = std::make_shared<SchemaSnapshot>();
   snapshot->batches = hive_->batches_processed();
   snapshot->is_final = is_final;
@@ -101,9 +128,29 @@ void Session::Publish(bool is_final) {
   snapshot->xsd = core::SerializeXsd(schema, vocab);
   snapshot->describe = core::DescribeSchema(schema, vocab);
   snapshot->binary = core::SerializeSchemaBinary(schema);
+  return snapshot;
+}
+
+void Session::Publish(bool is_final) {
+  auto snapshot = RenderSnapshot(is_final);
+  // The changefeed record for this publish. Diffed in-lane (the renderer
+  // reads the vocabulary, which only lane jobs may touch) against the
+  // schema as of the previous publish.
+  core::SchemaDiff diff =
+      core::DiffSchemas(prev_schema_, hive_->schema(), graph_->vocab());
+  prev_schema_ = hive_->schema();
+  diff.batch = snapshot->batches;
   std::lock_guard<std::mutex> lock(mutex_);
   snapshot->version = ++versions_published_;
+  diff.version_from = versions_published_ - 1;
+  diff.version_to = versions_published_;
+  feed_records_.push_back(core::SerializeSchemaDiffBinary(diff));
+  while (feed_records_.size() > kMaxFeedBacklog) {
+    feed_records_.pop_front();
+    ++first_feed_version_;
+  }
   snapshot_ = std::move(snapshot);
+  feed_cv_.notify_all();
 }
 
 std::shared_ptr<const SchemaSnapshot> Session::Snapshot() const {
@@ -163,6 +210,145 @@ util::StatusOr<ValidationResult> Session::Validate(
 util::Status Session::status() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return status_;
+}
+
+util::StatusOr<std::string> Session::SaveState() {
+  auto task = std::make_shared<
+      std::packaged_task<util::StatusOr<std::string>()>>([this] {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!status_.ok()) return util::StatusOr<std::string>(status_);
+    }
+    std::string bytes;
+    bytes.append(kSessionMagic, sizeof(kSessionMagic));
+    util::PutU32(&bytes, kSessionVersion);
+    util::AppendSection(&bytes, kGraphTextSection,
+                        pg::SaveGraphText(*graph_));
+    std::string assembler;
+    assembler_->AppendStateTo(&assembler);
+    util::AppendSection(&bytes, kAssemblerSection, assembler);
+    std::ostringstream hive;
+    util::Status saved = hive_->SaveState(hive);
+    if (!saved.ok()) return util::StatusOr<std::string>(saved);
+    util::AppendSection(&bytes, kHiveStateSection, hive.str());
+    std::string counters;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Submitted == processed here: this code runs as a lane job, so every
+      // batch submitted before it has already committed, and any submitted
+      // after it will replay against the restored session.
+      util::PutU64(&counters, hive_->batches_processed());
+      util::PutU64(&counters, versions_published_);
+      util::PutU8(&counters, finish_submitted_ ? 1 : 0);
+    }
+    util::AppendSection(&bytes, kCountersSection, counters);
+    return util::StatusOr<std::string>(std::move(bytes));
+  });
+  std::future<util::StatusOr<std::string>> future = task->get_future();
+  if (!queue_->Submit(id_, [task] { (*task)(); })) {
+    return util::Status::FailedPrecondition("service is shutting down");
+  }
+  return future.get();
+}
+
+util::StatusOr<std::shared_ptr<Session>> Session::CreateFromState(
+    std::string id, const std::string& bytes, util::ThreadPool* pool,
+    JobQueue* queue) {
+  util::ByteReader in(bytes);
+  if (!in.Has(sizeof(kSessionMagic)) ||
+      bytes.compare(0, sizeof(kSessionMagic), kSessionMagic,
+                    sizeof(kSessionMagic)) != 0) {
+    return util::Status::ParseError("session snapshot: bad magic");
+  }
+  in.ReadBytes(sizeof(kSessionMagic));
+  uint32_t version = in.ReadU32();
+  if (!in.ok() || version != kSessionVersion) {
+    return util::Status::ParseError(
+        "session snapshot: bad header or unsupported version");
+  }
+  std::map<uint32_t, std::string_view> sections;
+  while (!in.AtEnd()) {
+    uint32_t section_id = 0;
+    std::string_view payload;
+    if (!util::ReadSection(&in, &section_id, &payload)) {
+      return util::Status::ParseError(
+          "session snapshot: truncated or corrupt section");
+    }
+    if (!sections.emplace(section_id, payload).second) {
+      return util::Status::ParseError("session snapshot: duplicate section " +
+                                      std::to_string(section_id));
+    }
+  }
+  for (uint32_t required : {kGraphTextSection, kAssemblerSection,
+                            kHiveStateSection, kCountersSection}) {
+    if (!sections.count(required)) {
+      return util::Status::ParseError("session snapshot: missing section " +
+                                      std::to_string(required));
+    }
+  }
+  const std::string hive_bytes(sections.at(kHiveStateSection));
+  auto options = core::ReadSnapshotOptions(hive_bytes);
+  if (!options.ok()) return options.status();
+
+  std::shared_ptr<Session> session(
+      new Session(std::move(id), *options, pool, queue));
+  // Order matters: the hive restore rebuilds the vocabulary first (trivially
+  // position-consistent with the empty graph), so the graph-text replay
+  // below resolves every label and key to its snapshotted id — the id order
+  // the stream preamble had fixed, which the feature layout depends on.
+  std::istringstream hive_in(hive_bytes);
+  auto restored = session->hive_->RestoreState(hive_in);
+  if (!restored.ok()) return restored.status();
+  util::Status replayed = pg::LoadGraphTextInto(
+      std::string(sections.at(kGraphTextSection)), session->graph_.get());
+  if (!replayed.ok()) return replayed;
+  util::Status assembler =
+      session->assembler_->RestoreState(sections.at(kAssemblerSection));
+  if (!assembler.ok()) return assembler;
+
+  util::ByteReader counters(sections.at(kCountersSection));
+  uint64_t batches_submitted = counters.ReadU64();
+  uint64_t versions_published = counters.ReadU64();
+  uint8_t finish_submitted = counters.ReadU8();
+  if (!counters.ok() || !counters.AtEnd() || finish_submitted > 1 ||
+      batches_submitted != *restored) {
+    return util::Status::ParseError(
+        "session snapshot: corrupt counters section");
+  }
+  session->batches_submitted_ = batches_submitted;
+  session->versions_published_ = versions_published;
+  session->finish_submitted_ = finish_submitted != 0;
+  session->prev_schema_ = session->hive_->schema();
+  session->first_feed_version_ = versions_published + 1;
+  if (versions_published > 0) {
+    auto snapshot = session->RenderSnapshot(
+        session->hive_->phase() == core::PgHive::Phase::kFinished);
+    snapshot->version = versions_published;
+    session->snapshot_ = std::move(snapshot);
+  }
+  return session;
+}
+
+util::StatusOr<std::string> Session::WaitForDiffs(uint64_t after_version,
+                                                  uint64_t timeout_ms) {
+  timeout_ms = std::min<uint64_t>(timeout_ms, kMaxFeedWaitMs);
+  std::unique_lock<std::mutex> lock(mutex_);
+  feed_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+    return versions_published_ > after_version || !status_.ok();
+  });
+  if (!status_.ok()) return status_;
+  if (versions_published_ > after_version &&
+      after_version + 1 < first_feed_version_) {
+    return util::Status::OutOfRange(
+        "changefeed backlog pruned before version " +
+        std::to_string(after_version + 1) +
+        "; refetch the schema and resubscribe from its version");
+  }
+  std::string out;
+  for (size_t i = 0; i < feed_records_.size(); ++i) {
+    if (first_feed_version_ + i > after_version) out += feed_records_[i];
+  }
+  return out;
 }
 
 }  // namespace pghive::service

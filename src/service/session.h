@@ -1,7 +1,9 @@
 #ifndef PGHIVE_SERVICE_SESSION_H_
 #define PGHIVE_SERVICE_SESSION_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -59,6 +61,16 @@ class Session {
       std::string id, const std::map<std::string, std::string>& option_flags,
       util::ThreadPool* pool, JobQueue* queue);
 
+  /// Rebuilds a session from SaveState bytes (the pghived load-state verb):
+  /// restores the hive snapshot into a fresh hive (vocabulary first, so the
+  /// replayed graph text below resolves every label/key to its original id),
+  /// replays the graph text, and restores the assembler's fill bitmaps and
+  /// the session counters. Streaming the remaining batches afterwards
+  /// produces a schema byte-identical to the uninterrupted session's.
+  static util::StatusOr<std::shared_ptr<Session>> CreateFromState(
+      std::string id, const std::string& bytes, util::ThreadPool* pool,
+      JobQueue* queue);
+
   /// Drains this session's lane so no job outlives the object.
   ~Session();
 
@@ -67,6 +79,13 @@ class Session {
 
   const std::string& id() const { return id_; }
   const core::PgHiveOptions& options() const { return options_; }
+
+  /// Batches accepted so far (submitted or restored); the count a resuming
+  /// client uses to skip payloads the session already holds.
+  uint64_t batches_ingested() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return batches_submitted_;
+  }
 
   /// Enqueues one ingest payload; returns its 1-based batch sequence number
   /// immediately (the batch is committed asynchronously; errors latch into
@@ -88,6 +107,22 @@ class Session {
   util::StatusOr<ValidationResult> Validate(const std::string& pgs_text,
                                             bool strict);
 
+  /// Serializes the session — graph text, assembler progress, the full
+  /// PgHive state, and the session counters — as a lane job, so the bytes
+  /// always describe a batch boundary ("PGHD" magic + u32 version +
+  /// CRC-framed util/binio sections). Restore with CreateFromState.
+  util::StatusOr<std::string> SaveState();
+
+  /// Long-polls the session's schema changefeed: returns every buffered
+  /// diff record with version_to > after_version, concatenated in version
+  /// order (parse with core::ParseSchemaDiffStream), waiting up to
+  /// `timeout_ms` for the first new record. An empty string means the
+  /// timeout elapsed with no new version. Records are buffered per session
+  /// (bounded backlog); OutOfRange when after_version is older than the
+  /// retained window — refetch the full schema, then resubscribe.
+  util::StatusOr<std::string> WaitForDiffs(uint64_t after_version,
+                                           uint64_t timeout_ms);
+
   /// First error any job hit; Ok while healthy. A failed session rejects
   /// further ingest.
   util::Status status() const;
@@ -101,7 +136,10 @@ class Session {
 
   void IngestJob(const std::string& payload);
   void FinishJob();
-  /// Renders and swaps in a new snapshot. Lane jobs only.
+  /// Materializes every schema rendering from live state. Lane jobs only.
+  std::shared_ptr<SchemaSnapshot> RenderSnapshot(bool is_final) const;
+  /// Renders and swaps in a new snapshot, appending its changefeed record.
+  /// Lane jobs only.
   void Publish(bool is_final);
 
   const std::string id_;
@@ -112,8 +150,17 @@ class Session {
   std::unique_ptr<pg::PropertyGraph> graph_;
   std::unique_ptr<core::PgHive> hive_;
   std::unique_ptr<GraphAssembler> assembler_;
+  /// The schema as of the last published version; lane jobs only. Publish
+  /// diffs the fresh schema against this to produce the changefeed record.
+  core::SchemaGraph prev_schema_;
 
   mutable std::mutex mutex_;
+  std::condition_variable feed_cv_;
+  /// Serialized core::SchemaDiff records of the most recent publishes, in
+  /// version order (version_to == versions at push time). Bounded backlog;
+  /// subscribers that fall behind get OutOfRange.
+  std::deque<std::string> feed_records_;
+  uint64_t first_feed_version_ = 1;  ///< version_to of feed_records_[0].
   std::shared_ptr<const SchemaSnapshot> snapshot_;
   util::Status status_;
   uint64_t batches_submitted_ = 0;

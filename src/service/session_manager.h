@@ -40,6 +40,13 @@ class SessionManager {
   util::StatusOr<std::shared_ptr<Session>> CreateSession(
       const std::map<std::string, std::string>& option_flags);
 
+  /// Restores a session from Session::SaveState bytes under a fresh id (the
+  /// load-state verb). The restored session continues exactly where the
+  /// saved one stopped; ids are never recycled, so the new id differs from
+  /// the one the state was saved under.
+  util::StatusOr<std::shared_ptr<Session>> CreateSessionFromState(
+      const std::string& bytes);
+
   /// NotFound if absent (or already closed).
   util::StatusOr<std::shared_ptr<Session>> Lookup(const std::string& id) const;
 

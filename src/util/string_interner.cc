@@ -24,4 +24,17 @@ const std::string& StringInterner::Get(uint32_t id) const {
   return strings_[id];
 }
 
+bool StringInterner::Rebuild(std::vector<std::string> strings) {
+  std::unordered_map<std::string, uint32_t> index;
+  index.reserve(strings.size());
+  for (size_t i = 0; i < strings.size(); ++i) {
+    if (!index.emplace(strings[i], static_cast<uint32_t>(i)).second) {
+      return false;
+    }
+  }
+  strings_ = std::move(strings);
+  index_ = std::move(index);
+  return true;
+}
+
 }  // namespace pghive::util

@@ -36,6 +36,13 @@ class StringInterner {
   /// All interned strings in id order.
   const std::vector<std::string>& strings() const { return strings_; }
 
+  /// Replaces the contents with `strings` (ids assigned by position),
+  /// discarding whatever was interned before. Returns false — leaving the
+  /// interner unchanged — if `strings` contains a duplicate, which can never
+  /// come from a faithful snapshot. Snapshot restore uses this to put the id
+  /// assignment back exactly as it was at save time.
+  bool Rebuild(std::vector<std::string> strings);
+
  private:
   std::unordered_map<std::string, uint32_t> index_;
   std::vector<std::string> strings_;

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "pg/graph.h"
+#include "util/binio.h"
+#include "util/status.h"
 
 namespace pghive::embed {
 namespace {
@@ -207,6 +212,74 @@ TEST(Word2VecTest, DistinctTokensStayDistinguishable) {
   auto tx = g.vocab().TokenForLabelSet({g.vocab().FindLabel("X")});
   auto ty = g.vocab().TokenForLabelSet({g.vocab().FindLabel("Y")});
   EXPECT_LT(model.Similarity(tx, ty), 0.995f);
+}
+
+TEST(Word2VecTest, StateRoundTripContinuesTrainingIdentically) {
+  // Snapshot after the first corpus, restore into a fresh model, train both
+  // on a second corpus: embeddings must stay bit-identical — the weight
+  // matrices are the model's only cross-call state.
+  pg::PropertyGraph g1 = CommunityGraph();
+  pg::PropertyGraph g2 = CommunityGraph();
+  LabelCorpus c1 = BuildLabelCorpus(g1);
+  Word2Vec original(&g1.vocab(), {});
+  original.Train(c1);
+  std::string state;
+  original.AppendStateTo(&state);
+
+  Word2Vec restored(&g2.vocab(), {});
+  ASSERT_TRUE(restored.RestoreState(state).ok());
+  EXPECT_EQ(restored.num_rows(), original.num_rows());
+  original.Train(BuildLabelCorpus(g1));
+  restored.Train(BuildLabelCorpus(g2));
+  auto token = g1.vocab().TokenForLabelSet({g1.vocab().FindLabel("A")});
+  EXPECT_EQ(original.EmbedVec(token), restored.EmbedVec(token));
+}
+
+TEST(Word2VecTest, RestoreStateRejectsDimMismatchAndCorruption) {
+  pg::PropertyGraph g = CommunityGraph();
+  Word2Vec model(&g.vocab(), {});
+  model.Train(BuildLabelCorpus(g));
+  std::string state;
+  model.AppendStateTo(&state);
+
+  // A differently-configured embedder refuses the snapshot outright.
+  Word2VecOptions narrow;
+  narrow.dim = 4;
+  pg::Vocabulary vocab;
+  Word2Vec other(&vocab, narrow);
+  auto mismatch = other.RestoreState(state);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.code(), util::StatusCode::kFailedPrecondition);
+
+  // Every truncation is a ParseError, and none of them disturb the model.
+  pg::Vocabulary fresh_vocab;
+  Word2Vec fresh(&fresh_vocab, {});
+  for (size_t len = 0; len < state.size(); len += 7) {
+    auto truncated = fresh.RestoreState(state.substr(0, len));
+    ASSERT_FALSE(truncated.ok()) << "len " << len;
+    EXPECT_EQ(truncated.code(), util::StatusCode::kParseError) << len;
+  }
+  EXPECT_EQ(fresh.num_rows(), 0u);
+
+  // Hand-built payloads with inconsistent matrices: unequal input/output
+  // sizes, and a row count that is not a whole number of dim-sized rows.
+  const Word2VecOptions defaults;
+  std::string unequal;
+  util::PutU64(&unequal, defaults.dim);
+  util::PutF32Vector(&unequal, std::vector<float>(defaults.dim, 0.5f));
+  util::PutF32Vector(&unequal, std::vector<float>(2 * defaults.dim, 0.5f));
+  auto status = fresh.RestoreState(unequal);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kParseError);
+
+  std::string ragged;
+  util::PutU64(&ragged, defaults.dim);
+  util::PutF32Vector(&ragged, std::vector<float>(defaults.dim + 1, 0.5f));
+  util::PutF32Vector(&ragged, std::vector<float>(defaults.dim + 1, 0.5f));
+  status = fresh.RestoreState(ragged);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kParseError);
+  EXPECT_EQ(fresh.num_rows(), 0u);
 }
 
 }  // namespace

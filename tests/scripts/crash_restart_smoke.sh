@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Crash-restart durability smoke on the real binaries: stream half the
+# batches into pghived, save the session state, SIGKILL the daemon (no drain,
+# no graceful anything), restart it, load the state back, stream the rest —
+# the resumed schema must be byte-identical to the one-shot run. The same
+# scenario runs in the CI release job; this CTest copy keeps it reproducible
+# locally (and keeps the client/daemon paths in the coverage report).
+#
+# Usage: crash_restart_smoke.sh <pghive> <pghived> <workdir>
+set -eu
+
+PGHIVE=$1
+PGHIVED=$2
+WORK=$3
+
+mkdir -p "$WORK"
+cd "$WORK"
+rm -f crash.port crash.state
+
+cleanup() {
+  [ -n "${daemon:-}" ] && kill -9 "$daemon" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+wait_for_port() {
+  for _ in $(seq 1 100); do
+    [ -s crash.port ] && return 0
+    sleep 0.1
+  done
+  echo "pghived did not write its port file" >&2
+  cat pghived.log >&2 || true
+  return 1
+}
+
+"$PGHIVE" generate --dataset POLE --scale 0.05 --seed 7 --out smoke.pg \
+  > /dev/null
+"$PGHIVE" discover --graph smoke.pg --batches 6 --out oneshot > /dev/null
+
+"$PGHIVED" --port 0 --port-file crash.port > pghived.log 2>&1 &
+daemon=$!
+wait_for_port
+"$PGHIVE" client --graph smoke.pg --port-file crash.port --batches 6 \
+  --stop-after 3 --save-state crash.state
+
+kill -KILL "$daemon"
+wait "$daemon" || true
+daemon=
+rm -f crash.port
+
+"$PGHIVED" --port 0 --port-file crash.port > pghived.log 2>&1 &
+daemon=$!
+wait_for_port
+"$PGHIVE" client --graph smoke.pg --port-file crash.port --batches 6 \
+  --load-state crash.state --out resumed > /dev/null
+
+kill -TERM "$daemon"
+wait "$daemon"
+daemon=
+
+cmp oneshot.pgs resumed.pgs
+cmp oneshot.xsd resumed.xsd
+echo "crash-restart resume is byte-identical to the one-shot run"

@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "core/schema_diff.h"
 #include "pg/graph.h"
 #include "service/client.h"
 #include "service/session_manager.h"
@@ -120,6 +121,12 @@ class HandlerTest : public ::testing::Test {
     return handler_.Handle(*request);
   }
 
+  /// The id token of a "session <id> ..." response.
+  static std::string SessionIdOf(const Response& response) {
+    std::string rest = response.info.substr(std::string("session ").size());
+    return rest.substr(0, rest.find(' '));
+  }
+
   SessionManager manager_;
   RequestHandler handler_;
 };
@@ -138,11 +145,31 @@ TEST_F(HandlerTest, UnknownCommandErrors) {
 TEST_F(HandlerTest, CreateSessionParsesKnobsAndRejectsBadOnes) {
   Response ok = Run("create-session threads=2 method=minhash");
   ASSERT_TRUE(ok.status.ok()) << ok.status.ToString();
-  EXPECT_EQ(ok.info, "session s1");
+  EXPECT_EQ(ok.info,
+            "session s1 proto " + std::to_string(kProtocolVersion));
 
   EXPECT_FALSE(Run("create-session threads=banana").status.ok());
   EXPECT_FALSE(Run("create-session notaknob=1").status.ok());
   EXPECT_FALSE(Run("create-session justatoken").status.ok());
+}
+
+TEST_F(HandlerTest, CreateSessionProtocolHandshake) {
+  // Clients at or below the server's protocol version are accepted; the
+  // proto flag itself never reaches the options parser.
+  EXPECT_TRUE(Run("create-session proto=1").status.ok());
+  EXPECT_TRUE(Run("create-session proto=" +
+                  std::to_string(kProtocolVersion) + " threads=2")
+                  .status.ok());
+
+  // A newer client gets a clear FailedPrecondition, not a misparse later.
+  Response newer = Run("create-session proto=" +
+                       std::to_string(kProtocolVersion + 1));
+  ASSERT_FALSE(newer.status.ok());
+  EXPECT_EQ(newer.status.code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_NE(newer.status.message().find("protocol"), std::string::npos);
+
+  EXPECT_FALSE(Run("create-session proto=0").status.ok());
+  EXPECT_FALSE(Run("create-session proto=banana").status.ok());
 }
 
 TEST_F(HandlerTest, FullSessionLifecycleOverTheHandler) {
@@ -156,7 +183,7 @@ TEST_F(HandlerTest, FullSessionLifecycleOverTheHandler) {
 
   Response created = Run("create-session");
   ASSERT_TRUE(created.status.ok());
-  const std::string id = created.info.substr(std::string("session ").size());
+  const std::string id = SessionIdOf(created);
 
   Response ingested = Run("ingest-batch " + id + " " +
                               std::to_string(payloads[0].size()),
@@ -193,7 +220,7 @@ TEST_F(HandlerTest, SnapshotFormReturnsLatestWithoutFinishing) {
 
   Response created = Run("create-session");
   ASSERT_TRUE(created.status.ok());
-  const std::string id = created.info.substr(std::string("session ").size());
+  const std::string id = SessionIdOf(created);
 
   // Before any batch: no snapshot.
   EXPECT_FALSE(Run("get-schema " + id + " pgs snapshot").status.ok());
@@ -213,6 +240,100 @@ TEST_F(HandlerTest, SnapshotFormReturnsLatestWithoutFinishing) {
                             std::to_string(payloads[1].size()),
                         payloads[1]);
   EXPECT_TRUE(second.status.ok()) << second.status.ToString();
+}
+
+TEST_F(HandlerTest, SaveAndLoadStateRoundTripOverTheHandler) {
+  pg::PropertyGraph g;
+  auto a = g.AddNode({"Person"});
+  g.SetNodeProperty(a, "name", pg::Value("Ann"));
+  auto b = g.AddNode({"Person"});
+  g.SetNodeProperty(b, "name", pg::Value("Bo"));
+  g.AddEdge(a, b, {"KNOWS"});
+  auto payloads = BuildIngestPayloads(g, /*num_batches=*/2);
+  ASSERT_EQ(payloads.size(), 2u);
+
+  Response created = Run("create-session");
+  ASSERT_TRUE(created.status.ok());
+  const std::string id = SessionIdOf(created);
+  ASSERT_TRUE(Run("ingest-batch " + id + " " +
+                      std::to_string(payloads[0].size()),
+                  payloads[0])
+                  .status.ok());
+
+  const std::string path = ::testing::TempDir() + "/handler_state.bin";
+  Response saved = Run("save-state " + id + " " + path);
+  ASSERT_TRUE(saved.status.ok()) << saved.status.ToString();
+  EXPECT_NE(saved.info.find("saved " + id + " bytes "), std::string::npos);
+
+  // Finish the original session: the ground truth schema.
+  ASSERT_TRUE(Run("ingest-batch " + id + " " +
+                      std::to_string(payloads[1].size()),
+                  payloads[1])
+                  .status.ok());
+  Response expected = Run("get-schema " + id + " pgs");
+  ASSERT_TRUE(expected.status.ok());
+
+  // A second manager/handler pair simulates the restarted daemon.
+  SessionManager fresh_manager(nullptr);
+  RequestHandler restarted(&fresh_manager);
+  auto RunRestarted = [&](const std::string& line, const std::string& body) {
+    auto request = ParseRequestLine(line);
+    EXPECT_TRUE(request.ok()) << line;
+    request->body = body;
+    return restarted.Handle(*request);
+  };
+  Response loaded = RunRestarted("load-state " + path, "");
+  ASSERT_TRUE(loaded.status.ok()) << loaded.status.ToString();
+  EXPECT_NE(loaded.info.find("batches 1"), std::string::npos);
+  const std::string restored_id = SessionIdOf(loaded);
+  ASSERT_TRUE(RunRestarted("ingest-batch " + restored_id + " " +
+                               std::to_string(payloads[1].size()),
+                           payloads[1])
+                  .status.ok());
+  Response resumed = RunRestarted("get-schema " + restored_id + " pgs", "");
+  ASSERT_TRUE(resumed.status.ok()) << resumed.status.ToString();
+  EXPECT_EQ(resumed.body, expected.body);
+
+  // Bad paths stay errors, not crashes.
+  EXPECT_FALSE(Run("save-state nosuch " + path).status.ok());
+  EXPECT_FALSE(Run("save-state " + id).status.ok());
+  EXPECT_FALSE(
+      RunRestarted("load-state " + path + ".does-not-exist", "").status.ok());
+}
+
+TEST_F(HandlerTest, SubscribeChangefeedReturnsParseableRecords) {
+  pg::PropertyGraph g;
+  auto a = g.AddNode({"Person"});
+  g.SetNodeProperty(a, "name", pg::Value("Ann"));
+  auto b = g.AddNode({"Person"});
+  g.SetNodeProperty(b, "name", pg::Value("Bo"));
+  g.AddEdge(a, b, {"KNOWS"});
+  auto payloads = BuildIngestPayloads(g, /*num_batches=*/1);
+
+  Response created = Run("create-session");
+  ASSERT_TRUE(created.status.ok());
+  const std::string id = SessionIdOf(created);
+  ASSERT_TRUE(Run("ingest-batch " + id + " " +
+                      std::to_string(payloads[0].size()),
+                  payloads[0])
+                  .status.ok());
+
+  Response feed = Run("subscribe-changefeed " + id + " 0 0");
+  ASSERT_TRUE(feed.status.ok()) << feed.status.ToString();
+  EXPECT_TRUE(feed.has_body);
+  auto records = core::ParseSchemaDiffStream(feed.body);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].version_to, 1u);
+
+  // Caught up: empty body, still OK.
+  Response empty = Run("subscribe-changefeed " + id + " 1 0");
+  ASSERT_TRUE(empty.status.ok());
+  EXPECT_TRUE(empty.body.empty());
+
+  EXPECT_FALSE(Run("subscribe-changefeed " + id + " banana 0").status.ok());
+  EXPECT_FALSE(Run("subscribe-changefeed " + id).status.ok());
+  EXPECT_FALSE(Run("subscribe-changefeed nosuch 0 0").status.ok());
 }
 
 TEST_F(HandlerTest, UnknownSessionAndBadFormsError) {

@@ -25,9 +25,10 @@ constexpr const char* kSweepJson = R"({
 })";
 
 TEST(ParseBenchJsonTest, SweepFormat) {
-  std::string error;
-  auto entries = ParseBenchJson(kSweepJson, &error);
-  ASSERT_EQ(entries.size(), 3u) << error;
+  auto parsed = ParseBenchJson(kSweepJson);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto& entries = *parsed;
+  ASSERT_EQ(entries.size(), 3u);
   EXPECT_EQ(entries[0].name, "vectorize/threads=1");
   EXPECT_DOUBLE_EQ(entries[0].ms, 100.0);
   EXPECT_DOUBLE_EQ(entries[0].speedup, 1.0);
@@ -38,16 +39,15 @@ TEST(ParseBenchJsonTest, SweepFormat) {
 }
 
 TEST(ParseBenchJsonTest, GoogleBenchmarkEntriesHaveNoSpeedup) {
-  std::string error;
-  auto entries = ParseBenchJson(
-      R"({"benchmarks": [{"name": "BM_X", "real_time": 1e6}]})", &error);
-  ASSERT_EQ(entries.size(), 1u) << error;
-  EXPECT_DOUBLE_EQ(entries[0].speedup, 0.0);
+  auto parsed = ParseBenchJson(
+      R"({"benchmarks": [{"name": "BM_X", "real_time": 1e6}]})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_DOUBLE_EQ((*parsed)[0].speedup, 0.0);
 }
 
 TEST(ParseBenchJsonTest, GoogleBenchmarkFormatConvertsUnits) {
-  std::string error;
-  auto entries = ParseBenchJson(R"({
+  auto parsed = ParseBenchJson(R"({
     "context": {"host_name": "ci"},
     "benchmarks": [
       {"name": "BM_ElshHash/16", "run_type": "iteration",
@@ -56,20 +56,26 @@ TEST(ParseBenchJsonTest, GoogleBenchmarkFormatConvertsUnits) {
        "real_time": 2.5e6, "time_unit": "ns"},
       {"name": "BM_GmmEm", "real_time": 3.0, "time_unit": "ms"}
     ]
-  })",
-                                &error);
-  ASSERT_EQ(entries.size(), 2u) << error;
+  })");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto& entries = *parsed;
+  ASSERT_EQ(entries.size(), 2u);
   EXPECT_EQ(entries[0].name, "BM_ElshHash/16");
   EXPECT_DOUBLE_EQ(entries[0].ms, 2.5);  // ns -> ms; aggregate row skipped.
   EXPECT_DOUBLE_EQ(entries[1].ms, 3.0);
 }
 
-TEST(ParseBenchJsonTest, MalformedInputSetsError) {
-  std::string error;
-  EXPECT_TRUE(ParseBenchJson("{\"stages\": [", &error).empty());
-  EXPECT_FALSE(error.empty());
-  EXPECT_TRUE(ParseBenchJson("{\"other\": 1}", &error).empty());
-  EXPECT_NE(error.find("unrecognized"), std::string::npos);
+TEST(ParseBenchJsonTest, MalformedInputFailsWithParseError) {
+  auto truncated = ParseBenchJson("{\"stages\": [");
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), util::StatusCode::kParseError);
+  EXPECT_FALSE(truncated.status().message().empty());
+
+  auto unknown = ParseBenchJson("{\"other\": 1}");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), util::StatusCode::kParseError);
+  EXPECT_NE(unknown.status().message().find("unrecognized"),
+            std::string::npos);
 }
 
 TEST(DiffEntriesTest, MatchesByNameAndSkipsUnpaired) {
@@ -111,18 +117,17 @@ TEST(AnyRegressionTest, ImprovementAndZeroBaselineNeverRegress) {
 TEST(AnyRegressionTest, SyntheticTenPercentInjection) {
   // The acceptance scenario: a >10% slowdown injected into one stage of an
   // otherwise identical sweep must trip the gate.
-  std::string error;
-  auto baseline = ParseBenchJson(kSweepJson, &error);
-  ASSERT_FALSE(baseline.empty()) << error;
+  auto baseline = ParseBenchJson(kSweepJson);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
   std::string regressed_json = kSweepJson;
   size_t pos = regressed_json.find("\"ms\": 40.0");
   ASSERT_NE(pos, std::string::npos);
   regressed_json.replace(pos, 10, "\"ms\": 45.0");  // group: +12.5%.
-  auto current = ParseBenchJson(regressed_json, &error);
-  ASSERT_FALSE(current.empty()) << error;
-  auto rows = DiffEntries(baseline, current);
+  auto current = ParseBenchJson(regressed_json);
+  ASSERT_TRUE(current.ok()) << current.status().ToString();
+  auto rows = DiffEntries(*baseline, *current);
   EXPECT_TRUE(AnyRegression(rows, 10.0));
-  EXPECT_FALSE(AnyRegression(DiffEntries(baseline, baseline), 10.0));
+  EXPECT_FALSE(AnyRegression(DiffEntries(*baseline, *baseline), 10.0));
 }
 
 TEST(DiffEntriesTest, CarriesSpeedupRatiosWhenBothSidesHaveThem) {
@@ -156,17 +161,17 @@ TEST(IsRegressionTest, SpeedupRatioMode) {
 }
 
 TEST(ParseBenchJsonTest, SweepEntriesCarryThroughput) {
-  std::string error;
-  auto entries = ParseBenchJson(R"({
+  auto parsed = ParseBenchJson(R"({
     "stages": [
       {"stage": "vectorize", "results": [
         {"threads": 1, "ms": 100.0, "speedup": 1.0, "eps": 250000.5},
         {"threads": 2, "ms": 55.0, "speedup": 1.818}
       ]}
     ]
-  })",
-                                &error);
-  ASSERT_EQ(entries.size(), 2u) << error;
+  })");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto& entries = *parsed;
+  ASSERT_EQ(entries.size(), 2u);
   EXPECT_DOUBLE_EQ(entries[0].eps, 250000.5);
   EXPECT_DOUBLE_EQ(entries[1].eps, 0.0);  // "eps" is optional.
 }

@@ -110,7 +110,7 @@ int main(int argc, char** argv) {
   }
   if (baseline_path.empty() || current_path.empty()) return Usage(argv[0]);
 
-  std::string baseline_text, current_text, error;
+  std::string baseline_text, current_text;
   if (!ReadFile(baseline_path, &baseline_text)) {
     std::fprintf(stderr, "cannot read %s\n", baseline_path.c_str());
     return 2;
@@ -119,16 +119,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot read %s\n", current_path.c_str());
     return 2;
   }
-  auto baseline = pghive::tools::ParseBenchJson(baseline_text, &error);
-  if (baseline.empty()) {
+  auto baseline = pghive::tools::ParseBenchJson(baseline_text);
+  if (!baseline.ok()) {
     std::fprintf(stderr, "%s: %s\n", baseline_path.c_str(),
-                 error.empty() ? "no entries" : error.c_str());
+                 baseline.status().ToString().c_str());
     return 2;
   }
-  auto current = pghive::tools::ParseBenchJson(current_text, &error);
-  if (current.empty()) {
+  if (baseline->empty()) {
+    std::fprintf(stderr, "%s: no entries\n", baseline_path.c_str());
+    return 2;
+  }
+  auto current = pghive::tools::ParseBenchJson(current_text);
+  if (!current.ok()) {
     std::fprintf(stderr, "%s: %s\n", current_path.c_str(),
-                 error.empty() ? "no entries" : error.c_str());
+                 current.status().ToString().c_str());
+    return 2;
+  }
+  if (current->empty()) {
+    std::fprintf(stderr, "%s: no entries\n", current_path.c_str());
     return 2;
   }
 
@@ -136,7 +144,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> prior;
   if (!warn_state_in.empty()) prior = ReadLines(warn_state_in);
 
-  auto rows = pghive::tools::DiffEntries(baseline, current);
+  auto rows = pghive::tools::DiffEntries(*baseline, *current);
   auto regressed = pghive::tools::RegressedNames(rows, threshold, mode);
   auto failures = warn_then_fail
                       ? pghive::tools::ConsecutiveRegressions(regressed, prior)

@@ -261,25 +261,24 @@ bool ExtractGoogleBenchmarks(const JsonValue& root,
 
 }  // namespace
 
-std::vector<BenchEntry> ParseBenchJson(const std::string& text,
-                                       std::string* error) {
-  error->clear();
+util::StatusOr<std::vector<BenchEntry>> ParseBenchJson(
+    const std::string& text) {
   JsonValue root;
   JsonParser parser(text);
   if (!parser.Parse(&root)) {
-    *error = "JSON parse error: " + parser.error();
-    return {};
+    return util::Status::ParseError("JSON parse error: " + parser.error());
   }
   std::vector<BenchEntry> entries;
+  std::string error;
   bool ok = false;
   if (root.Get("stages") != nullptr) {
-    ok = ExtractSweepStages(root, &entries, error);
+    ok = ExtractSweepStages(root, &entries, &error);
   } else if (root.Get("benchmarks") != nullptr) {
-    ok = ExtractGoogleBenchmarks(root, &entries, error);
+    ok = ExtractGoogleBenchmarks(root, &entries, &error);
   } else {
-    *error = "unrecognized bench JSON: no 'stages' or 'benchmarks' key";
+    error = "unrecognized bench JSON: no 'stages' or 'benchmarks' key";
   }
-  if (!ok) entries.clear();
+  if (!ok) return util::Status::ParseError(error);
   return entries;
 }
 

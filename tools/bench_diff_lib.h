@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 namespace pghive::tools {
 
 /// One timed entry extracted from a bench JSON file, keyed by a stable name
@@ -55,10 +57,9 @@ enum class GateMode {
 ///     per-thread-count ms), or
 ///   - google-benchmark --benchmark_out ("benchmarks": real_time +
 ///     time_unit, converted to ms).
-/// Returns entries in file order; on malformed input returns empty and sets
-/// *error.
-std::vector<BenchEntry> ParseBenchJson(const std::string& text,
-                                       std::string* error);
+/// Returns entries in file order; kParseError on malformed input (an empty
+/// but well-formed file parses to an empty vector).
+util::StatusOr<std::vector<BenchEntry>> ParseBenchJson(const std::string& text);
 
 /// Joins baseline and current by entry name (baseline order). Entries
 /// present on only one side are skipped — a changed benchmark set is not a

@@ -15,6 +15,15 @@
 //       schema is byte-identical to --shards=1 at every shard count.
 //       Discovers the schema of a graph file (pg::SaveGraphFile format) and
 //       prints it; with --out also writes PREFIX.pgs and PREFIX.xsd.
+//       Durability: --checkpoint-to FILE snapshots the full discovery state
+//       (PgHive::SaveState) every --checkpoint-every K batches (default 1)
+//       and after Finish; --resume-from FILE restores such a snapshot and
+//       continues with the remaining batches of the same split — the final
+//       schema is byte-identical to the uninterrupted run. --changefeed FILE
+//       appends one binary SchemaDiff record per merged batch (plus one for
+//       post-processing); `pghive changefeed --feed FILE` prints it.
+//   changefeed --feed FILE
+//       Renders a --changefeed file as human-readable schema deltas.
 //   import    --nodes FILE[,FILE...] --edges FILE[,FILE...] --out GRAPH
 //       Imports neo4j-admin style CSVs into a graph file.
 //   generate  --dataset NAME [--scale S] [--seed N] --out GRAPH
@@ -23,19 +32,25 @@
 //   validate  --graph FILE --schema FILE.pgs [--strict]
 //       Validates a graph against a PG-Schema file.
 //   client    --graph FILE (--port N | --port-file FILE) [--batches N]
-//             [--out PREFIX] [--loose] [discover knobs]
+//             [--out PREFIX] [--loose] [--stop-after K] [--save-state PATH]
+//             [--load-state PATH] [discover knobs]
 //       Streams a graph file into a running pghived daemon batch by batch
 //       and fetches the discovered schema over the wire; with --out also
 //       writes PREFIX.pgs and PREFIX.xsd. Discovery knobs (--method,
 //       --threads, ...) are forwarded to create-session. The result is
 //       byte-identical to a local `discover --batches N` run with the same
 //       knobs (pinned by the service e2e tests and the CI smoke step).
+//       --stop-after K streams only the first K batches; --save-state asks
+//       the server to serialize the session to a server-side file, and
+//       --load-state resumes from one (skipping the batches it holds) — the
+//       CI crash smoke SIGKILLs pghived between the two.
 //
 // Exit code 0 on success (and, for validate, on conformance), 1 otherwise.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <limits>
 #include <map>
 #include <sstream>
@@ -46,6 +61,7 @@
 #include "core/options.h"
 #include "core/pghive.h"
 #include "core/pgschema_parser.h"
+#include "core/schema_diff.h"
 #include "core/serialize.h"
 #include "core/validator.h"
 #include "datasets/generator.h"
@@ -123,6 +139,24 @@ std::map<std::string, std::string> DiscoveryKnobs(const Args& args) {
   return knobs;
 }
 
+/// Atomically replaces `path` with a fresh SaveState snapshot (write to a
+/// temp sibling, then rename), so a crash mid-checkpoint never destroys the
+/// previous good checkpoint.
+util::Status WriteCheckpoint(const core::PgHive& pipeline,
+                             const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return util::Status::IoError("cannot open " + tmp);
+    auto status = pipeline.SaveState(out);
+    if (!status.ok()) return status;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return util::Status::IoError("cannot rename " + tmp + " to " + path);
+  }
+  return util::Status::Ok();
+}
+
 int CmdDiscover(const Args& args) {
   if (!args.Has("graph")) return Fail("discover needs --graph FILE");
   auto loaded = pg::LoadGraphFile(args.Get("graph"));
@@ -136,10 +170,58 @@ int CmdDiscover(const Args& args) {
   auto num_batches = util::ParseInt64InRange(args.Get("batches", "1"), 1,
                                              1000000, "--batches");
   if (!num_batches.ok()) return Fail(num_batches.status().ToString());
+  const std::string checkpoint_to = args.Get("checkpoint-to");
+  auto checkpoint_every = util::ParseInt64InRange(
+      args.Get("checkpoint-every", "1"), 1, 1000000, "--checkpoint-every");
+  if (!checkpoint_every.ok()) return Fail(checkpoint_every.status().ToString());
+  const std::string changefeed_path = args.Get("changefeed");
+  auto stop_after = util::ParseInt64InRange(args.Get("stop-after", "0"), 0,
+                                            1000000, "--stop-after");
+  if (!stop_after.ok()) return Fail(stop_after.status().ToString());
+  if (*stop_after > 0 && checkpoint_to.empty()) {
+    return Fail("--stop-after needs --checkpoint-to (the point is to leave "
+                "a resumable snapshot behind)");
+  }
   auto created = core::PgHive::Create(&graph, *options);
   if (!created.ok()) return Fail(created.status().ToString());
   core::PgHive& pipeline = **created;
-  if (*num_batches <= 1) {
+
+  // Resume: the graph file reload above re-interned every label and key at
+  // its original id, so the snapshot's vocabulary is position-consistent
+  // and RestoreState reconstructs the mid-stream state exactly.
+  uint64_t restored = 0;
+  if (args.Has("resume-from")) {
+    std::ifstream in(args.Get("resume-from"), std::ios::binary);
+    if (!in) return Fail("cannot open " + args.Get("resume-from"));
+    auto r = pipeline.RestoreState(in);
+    if (!r.ok()) return Fail(r.status().ToString());
+    restored = *r;
+    std::printf("resumed from %s: %llu batches already merged\n",
+                args.Get("resume-from").c_str(),
+                static_cast<unsigned long long>(restored));
+  }
+
+  std::ofstream feed;
+  if (!changefeed_path.empty()) {
+    // Fresh runs start a new feed; resumes append to the interrupted one.
+    feed.open(changefeed_path,
+              std::ios::binary |
+                  (restored > 0 ? std::ios::app : std::ios::trunc));
+    if (!feed) return Fail("cannot open " + changefeed_path);
+  }
+  auto emit_diff = [&](const core::SchemaGraph& prev, uint64_t version_from,
+                       uint64_t version_to, uint64_t batch) {
+    core::SchemaDiff diff =
+        core::DiffSchemas(prev, pipeline.schema(), graph.vocab());
+    diff.version_from = version_from;
+    diff.version_to = version_to;
+    diff.batch = batch;
+    feed << core::SerializeSchemaDiffBinary(diff);
+  };
+
+  const bool stateful = !checkpoint_to.empty() || !changefeed_path.empty() ||
+                        restored > 0;
+  if (*num_batches <= 1 && !stateful) {
     if (options->pipeline_depth > 1) {
       std::fprintf(stderr,
                    "pghive: warning: --pipeline-depth %lld has no effect "
@@ -152,13 +234,86 @@ int CmdDiscover(const Args& args) {
   } else {
     std::vector<pg::GraphBatch> batches = pg::SplitIntoBatches(
         graph, static_cast<size_t>(*num_batches), /*seed=*/1);
-    core::BatchPipeline executor(&pipeline);
-    auto status = executor.Run(batches);
-    if (!status.ok()) return Fail(status.ToString());
-    status = pipeline.Finish();
-    if (!status.ok()) return Fail(status.ToString());
+    if (restored > batches.size()) {
+      return Fail("snapshot has " + std::to_string(restored) +
+                  " batches merged but --batches is only " +
+                  std::to_string(batches.size()) +
+                  "; resume with the original --batches");
+    }
+    // Checkpoints and feed records are only valid at pipeline barriers, so
+    // stateful runs go chunk by chunk: full pipelining within a chunk, a
+    // snapshot/diff at each chunk boundary. The changefeed forces chunk
+    // size 1 (each merge is one published schema version, and the diff
+    // renderer reads the vocabulary, which an overlapped preprocess would
+    // be advancing).
+    size_t chunk = batches.size();
+    if (!changefeed_path.empty()) {
+      chunk = 1;
+    } else if (!checkpoint_to.empty()) {
+      chunk = static_cast<size_t>(*checkpoint_every);
+    }
+    size_t done = static_cast<size_t>(restored);
+    uint64_t version = restored;
+    double wall_ms = 0;
+    size_t depth = 1;
+    // --stop-after simulates an interrupted run deterministically: process
+    // that many batches, checkpoint, and exit without finishing.
+    const size_t limit = *stop_after > 0
+                             ? std::min(batches.size(),
+                                        static_cast<size_t>(*stop_after))
+                             : batches.size();
+    while (done < limit) {
+      size_t end = std::min(limit, done + chunk);
+      std::vector<pg::GraphBatch> slice(
+          std::make_move_iterator(batches.begin() + done),
+          std::make_move_iterator(batches.begin() + end));
+      core::SchemaGraph prev;
+      if (!changefeed_path.empty()) prev = pipeline.schema();
+      core::BatchPipeline executor(&pipeline);
+      auto status = executor.Run(slice);
+      if (!status.ok()) return Fail(status.ToString());
+      wall_ms += executor.wall_ms();
+      depth = executor.depth();
+      done = end;
+      if (!changefeed_path.empty()) {
+        emit_diff(prev, version, version + 1, done);
+        ++version;
+      }
+      if (!checkpoint_to.empty() &&
+          (done % static_cast<size_t>(*checkpoint_every) == 0 ||
+           done == limit)) {
+        auto saved = WriteCheckpoint(pipeline, checkpoint_to);
+        if (!saved.ok()) return Fail(saved.ToString());
+      }
+    }
+    if (done < batches.size()) {
+      std::printf("stopped after %zu of %zu batches; resume with "
+                  "--resume-from %s\n",
+                  done, batches.size(), checkpoint_to.c_str());
+      return 0;
+    }
+    if (pipeline.phase() == core::PgHive::Phase::kIngesting) {
+      core::SchemaGraph prev;
+      if (!changefeed_path.empty()) prev = pipeline.schema();
+      auto status = pipeline.Finish();
+      if (!status.ok()) return Fail(status.ToString());
+      // Post-processing can retype properties and settle cardinalities, so
+      // the feed closes with one record for the finished schema.
+      if (!changefeed_path.empty()) {
+        emit_diff(prev, version, version + 1, done);
+      }
+    }
+    if (!checkpoint_to.empty()) {
+      auto saved = WriteCheckpoint(pipeline, checkpoint_to);
+      if (!saved.ok()) return Fail(saved.ToString());
+      std::printf("checkpointed state to %s\n", checkpoint_to.c_str());
+    }
+    if (!changefeed_path.empty() && !feed) {
+      return Fail("cannot write " + changefeed_path);
+    }
     std::printf("ingested %zu batches (pipeline depth %zu) in %.1f ms\n",
-                batches.size(), executor.depth(), executor.wall_ms());
+                batches.size() - static_cast<size_t>(restored), depth,
+                wall_ms);
   }
 
   std::printf("%s", core::DescribeSchema(pipeline.schema(), graph.vocab())
@@ -257,25 +412,72 @@ int CmdClient(const Args& args) {
 
   auto client = service::PghivedClient::Connect(port);
   if (!client.ok()) return Fail(client.status().ToString());
-  auto session = client->CreateSession(DiscoveryKnobs(args));
-  if (!session.ok()) return Fail(session.status().ToString());
-  for (const std::string& payload : payloads) {
-    auto seq = client->IngestBatch(*session, payload);
+  std::string session;
+  size_t skip = 0;
+  if (args.Has("load-state")) {
+    // Resume a crashed/saved run: the server restores the snapshot as a new
+    // session and tells us how many batches it already holds.
+    auto restored = client->LoadState(args.Get("load-state"));
+    if (!restored.ok()) return Fail(restored.status().ToString());
+    session = restored->id;
+    skip = static_cast<size_t>(restored->batches);
+    if (skip > payloads.size()) {
+      return Fail("restored session already holds " + std::to_string(skip) +
+                  " batches but --batches only yields " +
+                  std::to_string(payloads.size()));
+    }
+    std::printf("restored session %s with %zu batches\n", session.c_str(),
+                skip);
+  } else {
+    auto created = client->CreateSession(DiscoveryKnobs(args));
+    if (!created.ok()) return Fail(created.status().ToString());
+    session = *created;
+  }
+
+  size_t limit = payloads.size();
+  if (args.Has("stop-after")) {
+    auto parsed = util::ParseInt64InRange(
+        args.Get("stop-after"), 0, static_cast<int64_t>(payloads.size()),
+        "--stop-after");
+    if (!parsed.ok()) return Fail(parsed.status().ToString());
+    limit = static_cast<size_t>(*parsed);
+    if (limit < skip) {
+      return Fail("--stop-after " + std::to_string(limit) +
+                  " is before the restored batch count " +
+                  std::to_string(skip));
+    }
+  }
+  for (size_t i = skip; i < limit; ++i) {
+    auto seq = client->IngestBatch(session, payloads[i]);
     if (!seq.ok()) return Fail(seq.status().ToString());
   }
-  std::printf("streamed %zu batches to session %s\n", payloads.size(),
-              session->c_str());
+  std::printf("streamed %zu batches to session %s\n", limit - skip,
+              session.c_str());
 
-  auto describe = client->GetSchema(*session, "describe");
+  if (args.Has("save-state")) {
+    auto bytes = client->SaveState(session, args.Get("save-state"));
+    if (!bytes.ok()) return Fail(bytes.status().ToString());
+    std::printf("saved session state to %s (%llu bytes)\n",
+                args.Get("save-state").c_str(),
+                static_cast<unsigned long long>(*bytes));
+  }
+  if (limit < payloads.size()) {
+    // Partial stream: leave the session open for a later resume (the crash
+    // smoke SIGKILLs the server here and restores from --save-state).
+    std::printf("stopped after %zu of %zu batches\n", limit, payloads.size());
+    return 0;
+  }
+
+  auto describe = client->GetSchema(session, "describe");
   if (!describe.ok()) return Fail(describe.status().ToString());
   std::printf("%s", describe->c_str());
 
   if (args.Has("out")) {
     const std::string prefix = args.Get("out");
-    auto pgs = client->GetSchema(*session,
+    auto pgs = client->GetSchema(session,
                                  args.Has("loose") ? "pgs-loose" : "pgs");
     if (!pgs.ok()) return Fail(pgs.status().ToString());
-    auto xsd = client->GetSchema(*session, "xsd");
+    auto xsd = client->GetSchema(session, "xsd");
     if (!xsd.ok()) return Fail(xsd.status().ToString());
     std::ofstream pgs_out(prefix + ".pgs");
     pgs_out << *pgs;
@@ -284,8 +486,24 @@ int CmdClient(const Args& args) {
     if (!pgs_out || !xsd_out) return Fail("cannot write " + prefix + ".*");
     std::printf("wrote %s.pgs and %s.xsd\n", prefix.c_str(), prefix.c_str());
   }
-  util::Status closed = client->CloseSession(*session);
+  util::Status closed = client->CloseSession(session);
   if (!closed.ok()) return Fail(closed.ToString());
+  return 0;
+}
+
+/// Prints a changefeed file (discover --changefeed output) in human form.
+int CmdChangefeed(const Args& args) {
+  if (!args.Has("feed")) return Fail("changefeed needs --feed FILE");
+  std::ifstream in(args.Get("feed"), std::ios::binary);
+  if (!in) return Fail("cannot open " + args.Get("feed"));
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  auto records = core::ParseSchemaDiffStream(bytes);
+  if (!records.ok()) return Fail(records.status().ToString());
+  for (const core::SchemaDiff& diff : *records) {
+    std::printf("%s", core::DescribeSchemaDiff(diff).c_str());
+  }
+  std::printf("%zu changefeed records\n", records->size());
   return 0;
 }
 
@@ -329,16 +547,22 @@ int main(int argc, char** argv) {
   if (args.command == "generate") return CmdGenerate(args);
   if (args.command == "validate") return CmdValidate(args);
   if (args.command == "client") return CmdClient(args);
+  if (args.command == "changefeed") return CmdChangefeed(args);
   std::fprintf(stderr,
-               "usage: pghive <discover|import|generate|validate|client>"
+               "usage: pghive"
+               " <discover|import|generate|validate|client|changefeed>"
                " [options]\n"
                "  discover --graph FILE [--method elsh|minhash] [--batches N]"
                " [--out PREFIX] [--loose] [--threads N] [--pipeline-depth D]"
-               " [--data-plane columnar|row] [--shards N]\n"
+               " [--data-plane columnar|row] [--shards N]"
+               " [--checkpoint-to FILE [--checkpoint-every K]]"
+               " [--resume-from FILE] [--changefeed FILE]\n"
                "  import   --nodes a.csv,b.csv --edges rels.csv --out g.pg\n"
                "  generate --dataset POLE [--scale 1.0] [--seed 42] --out g.pg\n"
                "  validate --graph g.pg --schema s.pgs [--strict]\n"
                "  client   --graph FILE (--port N | --port-file FILE)"
-               " [--batches N] [--out PREFIX] [--loose] [discover knobs]\n");
+               " [--batches N] [--out PREFIX] [--loose] [--stop-after K]"
+               " [--save-state PATH] [--load-state PATH] [discover knobs]\n"
+               "  changefeed --feed FILE\n");
   return args.command.empty() ? 1 : 1;
 }
