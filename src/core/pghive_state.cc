@@ -205,7 +205,11 @@ util::StatusOr<std::map<uint32_t, std::string_view>> ReadSections(
   if (!in.ok()) {
     return util::Status::ParseError("state snapshot: truncated header");
   }
-  if (version != kStateVersion) {
+  // Forward compatible: newer writers may only *append* optional sections
+  // (the required-section layouts are frozen within the "PGHS" magic), so a
+  // v1 reader accepts any version >= 1 and skips section ids it does not
+  // know. Unknown versions below ours are malformed, not futuristic.
+  if (version < kStateVersion) {
     return util::Status::ParseError("state snapshot: unsupported version " +
                                     std::to_string(version));
   }

@@ -287,6 +287,45 @@ void DescribeTypeDelta(std::ostringstream* out, const TypeDelta& d) {
   *out << "\n";
 }
 
+/// Reads one "PGHF" record off `in`, leaving the reader positioned at the
+/// next record on success. Shared by the strict stream parser and the
+/// tolerant segment-file scanner.
+util::Status ReadOneDiffRecord(util::ByteReader* in, SchemaDiff* diff) {
+  std::string_view magic = in->ReadBytes(sizeof(kFeedMagic));
+  if (!in->ok() || magic != std::string_view(kFeedMagic, sizeof(kFeedMagic))) {
+    return util::Status::ParseError("changefeed: bad record magic at byte " +
+                                    std::to_string(in->pos()));
+  }
+  uint8_t version = in->ReadU8();
+  if (!in->ok() || version != kFeedVersion) {
+    return util::Status::ParseError("changefeed: unsupported record version");
+  }
+  uint32_t id = 0;
+  std::string_view payload;
+  if (!util::ReadSection(in, &id, &payload) || id != kDiffSection) {
+    return util::Status::ParseError("changefeed: truncated or corrupt record");
+  }
+  util::ByteReader rec(payload);
+  diff->version_from = rec.ReadU64();
+  diff->version_to = rec.ReadU64();
+  diff->batch = rec.ReadU64();
+  for (std::vector<TypeDelta>* deltas :
+       {&diff->node_deltas, &diff->edge_deltas}) {
+    uint64_t n = rec.ReadU64();
+    // A type delta is at least 25 bytes serialized; clamp before resize.
+    if (!rec.SaneCount(n, 25)) break;
+    deltas->resize(n);
+    for (TypeDelta& d : *deltas) {
+      if (!ReadTypeDelta(&rec, &d)) break;
+    }
+    if (!rec.ok()) break;
+  }
+  if (!rec.ok() || !rec.AtEnd()) {
+    return util::Status::ParseError("changefeed: corrupt record payload");
+  }
+  return util::Status::Ok();
+}
+
 }  // namespace
 
 SchemaDiff DiffSchemas(const SchemaGraph& prev, const SchemaGraph& next,
@@ -335,44 +374,95 @@ util::StatusOr<std::vector<SchemaDiff>> ParseSchemaDiffStream(
   std::vector<SchemaDiff> records;
   util::ByteReader in(bytes);
   while (!in.AtEnd()) {
-    std::string_view magic = in.ReadBytes(sizeof(kFeedMagic));
-    if (!in.ok() ||
-        magic != std::string_view(kFeedMagic, sizeof(kFeedMagic))) {
-      return util::Status::ParseError(
-          "changefeed: bad record magic at byte " + std::to_string(in.pos()));
-    }
-    uint8_t version = in.ReadU8();
-    if (!in.ok() || version != kFeedVersion) {
-      return util::Status::ParseError("changefeed: unsupported record version");
-    }
-    uint32_t id = 0;
-    std::string_view payload;
-    if (!util::ReadSection(&in, &id, &payload) || id != kDiffSection) {
-      return util::Status::ParseError(
-          "changefeed: truncated or corrupt record");
-    }
-    util::ByteReader rec(payload);
     SchemaDiff diff;
-    diff.version_from = rec.ReadU64();
-    diff.version_to = rec.ReadU64();
-    diff.batch = rec.ReadU64();
-    for (std::vector<TypeDelta>* deltas :
-         {&diff.node_deltas, &diff.edge_deltas}) {
-      uint64_t n = rec.ReadU64();
-      // A type delta is at least 25 bytes serialized; clamp before resize.
-      if (!rec.SaneCount(n, 25)) break;
-      deltas->resize(n);
-      for (TypeDelta& d : *deltas) {
-        if (!ReadTypeDelta(&rec, &d)) break;
-      }
-      if (!rec.ok()) break;
-    }
-    if (!rec.ok() || !rec.AtEnd()) {
-      return util::Status::ParseError("changefeed: corrupt record payload");
-    }
+    util::Status status = ReadOneDiffRecord(&in, &diff);
+    if (!status.ok()) return status;
     records.push_back(std::move(diff));
   }
   return records;
+}
+
+std::vector<SchemaDiffRecord> ScanSchemaDiffStream(std::string_view bytes,
+                                                   size_t* valid_prefix) {
+  std::vector<SchemaDiffRecord> records;
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    // A fresh reader per record: ByteReader latches failure, and a failed
+    // partial read must not poison the records already recovered.
+    util::ByteReader in(bytes.substr(offset));
+    SchemaDiffRecord record;
+    if (!ReadOneDiffRecord(&in, &record.diff).ok()) break;
+    record.offset = offset;
+    record.length = in.pos();
+    offset += record.length;
+    records.push_back(std::move(record));
+  }
+  if (valid_prefix != nullptr) *valid_prefix = offset;
+  return records;
+}
+
+bool IsCardinalityWidening(CardinalityKind from, CardinalityKind to) {
+  if (from == to || from == CardinalityKind::kUnknown) return true;
+  if (to == CardinalityKind::kManyToMany) return true;
+  return from == CardinalityKind::kOneToOne &&
+         (to == CardinalityKind::kManyToOne ||
+          to == CardinalityKind::kOneToMany);
+}
+
+std::vector<DriftAlert> ScanForDrift(const SchemaDiff& diff) {
+  std::vector<DriftAlert> alerts;
+  for (const std::vector<TypeDelta>* deltas :
+       {&diff.node_deltas, &diff.edge_deltas}) {
+    for (const TypeDelta& t : *deltas) {
+      for (const PropertyDelta& p : t.properties) {
+        if (p.kind != PropertyDelta::Kind::kRetyped) continue;
+        // A property acquiring its first concrete type is refinement, not
+        // drift — the datatype twin of the kUnknown cardinality rule. The
+        // one-shot pipeline resolves statistics at Finish, so every feed
+        // would otherwise flood with NULL -> X alerts on its final record.
+        if (p.old_type == pg::DataType::kNull) continue;
+        DriftAlert a;
+        a.kind = DriftAlert::Kind::kPropertyRetype;
+        a.is_edge = t.is_edge;
+        a.version_to = diff.version_to;
+        a.type_name = t.name;
+        a.key = p.key;
+        a.old_type = p.old_type;
+        a.new_type = p.new_type;
+        alerts.push_back(std::move(a));
+      }
+      // Cardinality only exists on matched edge pairs; added/removed types
+      // have one side at kUnknown, which never reads as a flip.
+      if (t.is_edge && t.kind == TypeDelta::Kind::kChanged &&
+          t.old_cardinality != t.new_cardinality &&
+          !IsCardinalityWidening(t.old_cardinality, t.new_cardinality)) {
+        DriftAlert a;
+        a.kind = DriftAlert::Kind::kCardinalityFlip;
+        a.is_edge = true;
+        a.version_to = diff.version_to;
+        a.type_name = t.name;
+        a.old_cardinality = t.old_cardinality;
+        a.new_cardinality = t.new_cardinality;
+        alerts.push_back(std::move(a));
+      }
+    }
+  }
+  return alerts;
+}
+
+std::string DescribeDriftAlert(const DriftAlert& alert) {
+  std::ostringstream out;
+  out << "v" << alert.version_to << " " << (alert.is_edge ? "edge " : "node ")
+      << alert.type_name << ": ";
+  if (alert.kind == DriftAlert::Kind::kPropertyRetype) {
+    out << "property " << alert.key << " retyped "
+        << pg::DataTypeName(alert.old_type) << " -> "
+        << pg::DataTypeName(alert.new_type);
+  } else {
+    out << "cardinality flipped " << CardinalityKindName(alert.old_cardinality)
+        << " -> " << CardinalityKindName(alert.new_cardinality);
+  }
+  return out.str();
 }
 
 std::string DescribeSchemaDiff(const SchemaDiff& diff) {

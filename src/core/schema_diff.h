@@ -81,11 +81,65 @@ std::string SerializeSchemaDiffBinary(const SchemaDiff& diff);
 util::StatusOr<std::vector<SchemaDiff>> ParseSchemaDiffStream(
     const std::string& bytes);
 
+/// One record recovered by ScanSchemaDiffStream, with its byte extent in the
+/// scanned buffer so callers can slice or truncate the raw stream.
+struct SchemaDiffRecord {
+  SchemaDiff diff;
+  size_t offset = 0;  ///< Byte offset of the record's first magic byte.
+  size_t length = 0;  ///< Serialized record length in bytes.
+};
+
+/// Tolerant variant of ParseSchemaDiffStream for changefeed segment files: a
+/// crash can leave a torn record at the tail, so instead of failing the whole
+/// stream this returns every complete, CRC-valid record up to the first
+/// malformed byte. `*valid_prefix` receives the length of the clean prefix
+/// (== bytes.size() iff the whole stream parsed); everything past it is
+/// untrusted and should be truncated away before appending new records.
+std::vector<SchemaDiffRecord> ScanSchemaDiffStream(std::string_view bytes,
+                                                   size_t* valid_prefix);
+
 /// Human-readable rendering, one line per delta:
 ///   == v3 -> v4 (batch 4): 2 node / 1 edge deltas
 ///   + node Person|Student (+120 instances)
 ///   ~ edge KNOWS: property since retyped DATE -> DATETIME
 std::string DescribeSchemaDiff(const SchemaDiff& diff);
+
+/// One schema-drift signal found in a changefeed record: a property that
+/// changed datatype, or an edge cardinality that moved *against* the
+/// insertion lattice. Under pure insertion cardinality only widens
+/// (1:1 -> N:1 / 1:N -> N:M); a non-widening transition between two
+/// established kinds is only reachable through the decay model's instance
+/// removal (core/removal.cc) and usually means the modeled world shifted.
+struct DriftAlert {
+  enum class Kind : uint8_t { kPropertyRetype = 0, kCardinalityFlip = 1 };
+  Kind kind = Kind::kPropertyRetype;
+  bool is_edge = false;
+  uint64_t version_to = 0;  ///< Feed version that introduced the drift.
+  std::string type_name;
+  // kPropertyRetype only:
+  std::string key;
+  pg::DataType old_type = pg::DataType::kNull;
+  pg::DataType new_type = pg::DataType::kNull;
+  // kCardinalityFlip only:
+  CardinalityKind old_cardinality = CardinalityKind::kUnknown;
+  CardinalityKind new_cardinality = CardinalityKind::kUnknown;
+};
+
+/// True when `to` is reachable from `from` by adding instances alone:
+/// kUnknown precedes everything, kOneToOne precedes the two asymmetric
+/// kinds, and every kind precedes kManyToMany. A change for which this is
+/// false (including any transition back to kUnknown) is a flip.
+bool IsCardinalityWidening(CardinalityKind from, CardinalityKind to);
+
+/// Flags every property retype and cardinality flip in one diff record.
+/// Alert order is deterministic: node deltas before edge deltas, each in the
+/// diff's own delta order.
+std::vector<DriftAlert> ScanForDrift(const SchemaDiff& diff);
+
+/// One-line rendering, e.g.
+///   v4 node Person: property age retyped INTEGER -> STRING
+///   v7 edge KNOWS: cardinality flipped N:M -> 1:N
+std::string DescribeDriftAlert(const DriftAlert& alert);
 
 }  // namespace pghive::core
 

@@ -199,6 +199,24 @@ util::StatusOr<PghivedClient::RestoredSession> PghivedClient::LoadState(
   return RestoredSession{id, static_cast<uint64_t>(*parsed)};
 }
 
+util::StatusOr<PghivedClient::RestoredSession> PghivedClient::SessionInfo(
+    const std::string& session) {
+  auto response = RoundTrip("session-info " + session);
+  if (!response.ok()) return response.status();
+  std::istringstream info(response->info);
+  std::string tag, id, batches_tag, batches;
+  if (!(info >> tag >> id >> batches_tag >> batches) || tag != "session" ||
+      batches_tag != "batches") {
+    return util::Status::ParseError("unexpected session-info reply '" +
+                                    response->info + "'");
+  }
+  auto parsed = util::ParseInt64(batches);
+  if (!parsed.ok() || *parsed < 0) {
+    return util::Status::ParseError("bad batch count '" + batches + "'");
+  }
+  return RestoredSession{id, static_cast<uint64_t>(*parsed)};
+}
+
 util::StatusOr<std::string> PghivedClient::SubscribeChangefeed(
     const std::string& session, uint64_t after_version, uint64_t timeout_ms) {
   auto response =

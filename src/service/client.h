@@ -67,6 +67,11 @@ class PghivedClient {
   /// Restores a server-side SaveState file as a new session.
   util::StatusOr<RestoredSession> LoadState(const std::string& path);
 
+  /// Looks up an existing session's id and batch count — the resume
+  /// handshake against a daemon that restored the session from its own
+  /// checkpoint dir (no LoadState round trip or snapshot file needed).
+  util::StatusOr<RestoredSession> SessionInfo(const std::string& session);
+
   /// Long-polls the session's schema changefeed; returns concatenated
   /// core::SchemaDiff records with version > after_version (empty string if
   /// `timeout_ms` elapsed first). Parse with core::ParseSchemaDiffStream.

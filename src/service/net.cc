@@ -83,6 +83,10 @@ void SocketStream::Close() {
 }
 
 util::StatusOr<size_t> SocketStream::Fill() {
+  // A closed or moved-from stream must surface the same NotFound the
+  // ReadLine/ReadExact entry guards promise, not an EBADF IoError from
+  // recv(-1, ...) — callers branch on NotFound to mean "peer went away".
+  if (fd_ < 0) return util::Status::NotFound("connection closed");
   char chunk[4096];
   for (;;) {
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);

@@ -150,6 +150,7 @@ Response RequestHandler::Handle(const Request& request) {
   if (request.command == "validate") return HandleValidate(request);
   if (request.command == "save-state") return HandleSaveState(request);
   if (request.command == "load-state") return HandleLoadState(request);
+  if (request.command == "session-info") return HandleSessionInfo(request);
   if (request.command == "subscribe-changefeed") {
     return HandleSubscribeChangefeed(request);
   }
@@ -288,6 +289,19 @@ Response RequestHandler::HandleLoadState(const Request& request) {
                     std::istreambuf_iterator<char>());
   auto session = manager_->CreateSessionFromState(bytes);
   if (!session.ok()) return ErrorResponse(session.status());
+  return OkResponse("session " + (*session)->id() + " batches " +
+                    std::to_string((*session)->batches_ingested()));
+}
+
+Response RequestHandler::HandleSessionInfo(const Request& request) {
+  if (request.args.size() != 1) {
+    return ErrorResponse(
+        util::Status::InvalidArgument("usage: session-info <session>"));
+  }
+  auto session = manager_->Lookup(request.args[0]);
+  if (!session.ok()) return ErrorResponse(session.status());
+  // Mirrors the load-state response shape: the batch count tells a resuming
+  // client how many payloads to skip.
   return OkResponse("session " + (*session)->id() + " batches " +
                     std::to_string((*session)->batches_ingested()));
 }

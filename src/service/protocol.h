@@ -38,7 +38,14 @@ namespace pghive::service {
 ///   subscribe-changefeed <session> <after-version> [timeout-ms]
 ///       long-polls for schema-diff records with version > after-version;
 ///       the body is a core::ParseSchemaDiffStream byte stream (empty on
-///       timeout)
+///       timeout). When the daemon runs with --checkpoint-dir, versions
+///       older than the in-memory backlog are served from the session's
+///       feed segment file instead of OutOfRange.
+///   session-info <session>              "OK session <id> batches <k>" for
+///                                       an existing session — how a client
+///                                       resumes against a daemon that
+///                                       restored the session from its own
+///                                       checkpoint (no load-state needed)
 ///   close <session>
 ///
 /// Responses:
@@ -51,7 +58,9 @@ namespace pghive::service {
 /// The protocol version this build speaks. Version history:
 ///   1 — initial protocol (create/ingest/get-schema/validate/close).
 ///   2 — adds proto= handshake, save-state, load-state, subscribe-changefeed.
-constexpr uint32_t kProtocolVersion = 2;
+///   3 — adds session-info; subscribe-changefeed can serve pre-backlog
+///       versions from the daemon's checkpoint-dir feed segments.
+constexpr uint32_t kProtocolVersion = 3;
 struct Request {
   std::string command;
   std::vector<std::string> args;  ///< Tokens after the command.
@@ -96,6 +105,7 @@ class RequestHandler {
   Response HandleValidate(const Request& request);
   Response HandleSaveState(const Request& request);
   Response HandleLoadState(const Request& request);
+  Response HandleSessionInfo(const Request& request);
   Response HandleSubscribeChangefeed(const Request& request);
   Response HandleClose(const Request& request);
 

@@ -4,21 +4,39 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "service/net.h"
 
 namespace pghive::service {
 
+namespace {
+
+SessionManager::Options ManagerOptions(const PghivedServer::Options& options) {
+  SessionManager::Options manager_options;
+  manager_options.max_sessions = options.max_sessions;
+  manager_options.checkpoint_dir = options.checkpoint_dir;
+  manager_options.checkpoint_every = options.checkpoint_every;
+  return manager_options;
+}
+
+}  // namespace
+
 PghivedServer::PghivedServer(Options options)
-    : options_(options),
-      pool_(options.threads),
-      manager_(&pool_, SessionManager::Options{options.max_sessions}),
+    : options_(std::move(options)),
+      pool_(options_.threads),
+      manager_(&pool_, ManagerOptions(options_)),
       handler_(&manager_) {}
 
 PghivedServer::~PghivedServer() { Stop(); }
 
 util::Status PghivedServer::Start() {
+  // Restore checkpointed sessions before any client can connect, so a
+  // restarted daemon serves every surviving tenant from the first request.
+  // A corrupt checkpoint fails startup loudly instead of dropping state.
+  util::Status restored = manager_.RestoreFromCheckpointDir();
+  if (!restored.ok()) return restored;
   auto listen_fd = ListenTcp(options_.port);
   if (!listen_fd.ok()) return listen_fd.status();
   listen_fd_ = *listen_fd;
@@ -109,6 +127,14 @@ void PghivedServer::Stop() {
   }
   // Queue-draining shutdown: every accepted batch commits before exit.
   manager_.DrainAll();
+  // Then one final checkpoint of every live session, so a SIGTERM'd daemon
+  // restarts exactly where the drain left it. Best effort: shutdown must
+  // complete even when the disk does not cooperate.
+  util::Status checkpointed = manager_.CheckpointAll();
+  if (!checkpointed.ok()) {
+    std::fprintf(stderr, "pghived: shutdown checkpoint failed: %s\n",
+                 checkpointed.ToString().c_str());
+  }
 }
 
 }  // namespace pghive::service

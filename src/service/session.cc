@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <future>
 #include <sstream>
 #include <utility>
@@ -27,19 +30,62 @@ constexpr uint32_t kAssemblerSection = 2;
 constexpr uint32_t kHiveStateSection = 3;
 constexpr uint32_t kCountersSection = 4;
 
-/// Diff records retained per session for changefeed subscribers. A consumer
-/// further behind than this gets OutOfRange and must refetch the schema.
-constexpr size_t kMaxFeedBacklog = 256;
-
 /// Ceiling on one WaitForDiffs long-poll, so a subscriber can never wedge
 /// server shutdown for longer than this.
 constexpr uint64_t kMaxFeedWaitMs = 30000;
 
+/// Writes `bytes` to `path` atomically: a sibling tmp file, then rename, so
+/// a crash mid-write never leaves a torn file under the real name.
+util::Status AtomicWriteFile(const std::string& path,
+                             const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      return util::Status::IoError("cannot write " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return util::Status::IoError("cannot rename " + tmp + " to " + path);
+  }
+  return util::Status::Ok();
+}
+
+/// Reconciles a feed segment file with a restored session's version counter:
+/// keeps the longest clean prefix of records numbered contiguously
+/// 1..max_version and truncates everything past it — a torn tail from a
+/// crash, or versions the restored session will re-publish (and re-append)
+/// while replaying batches the checkpoint had not yet seen.
+util::Status TruncateFeedFile(const std::string& path, uint64_t max_version) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::Ok();  // No segment yet: nothing to reconcile.
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return util::Status::IoError("cannot read " + path);
+  size_t valid_prefix = 0;
+  auto records = core::ScanSchemaDiffStream(bytes, &valid_prefix);
+  size_t keep = 0;
+  uint64_t expect = 1;
+  for (const core::SchemaDiffRecord& record : records) {
+    if (expect > max_version || record.diff.version_to != expect) break;
+    keep = record.offset + record.length;
+    ++expect;
+  }
+  if (keep == bytes.size()) return util::Status::Ok();
+  return AtomicWriteFile(path, bytes.substr(0, keep));
+}
+
 }  // namespace
 
 Session::Session(std::string id, core::PgHiveOptions options,
-                 util::ThreadPool* pool, JobQueue* queue)
-    : id_(std::move(id)), options_(options), queue_(queue) {
+                 util::ThreadPool* pool, JobQueue* queue,
+                 SessionDurability durability)
+    : id_(std::move(id)),
+      options_(options),
+      durability_(std::move(durability)),
+      queue_(queue) {
   graph_ = std::make_unique<pg::PropertyGraph>();
   // The hive shares the cross-session pool; per-session ordering comes from
   // the job lane, not from a dedicated pool.
@@ -49,11 +95,20 @@ Session::Session(std::string id, core::PgHiveOptions options,
 
 util::StatusOr<std::shared_ptr<Session>> Session::Create(
     std::string id, const std::map<std::string, std::string>& option_flags,
-    util::ThreadPool* pool, JobQueue* queue) {
+    util::ThreadPool* pool, JobQueue* queue, SessionDurability durability) {
   auto options = core::ParsePgHiveOptions(option_flags);
   if (!options.ok()) return options.status();
-  return std::shared_ptr<Session>(
-      new Session(std::move(id), *options, pool, queue));
+  // A fresh session owns its durability paths outright: stale files there
+  // (say, from a session that published a feed but died before its first
+  // checkpoint) must not leak into this one's history.
+  if (!durability.state_path.empty()) {
+    std::remove(durability.state_path.c_str());
+  }
+  if (!durability.feed_path.empty()) {
+    std::remove(durability.feed_path.c_str());
+  }
+  return std::shared_ptr<Session>(new Session(std::move(id), *options, pool,
+                                              queue, std::move(durability)));
 }
 
 Session::~Session() { Drain(); }
@@ -96,6 +151,14 @@ void Session::IngestJob(const std::string& payload) {
     return;
   }
   Publish(/*is_final=*/false);
+  if (!durability_.state_path.empty() && durability_.checkpoint_every > 0 &&
+      hive_->batches_processed() % durability_.checkpoint_every == 0) {
+    util::Status checkpointed = CheckpointInLane();
+    if (!checkpointed.ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (status_.ok()) status_ = checkpointed;
+    }
+  }
 }
 
 void Session::FinishJob() {
@@ -113,6 +176,15 @@ void Session::FinishJob() {
     return;
   }
   Publish(/*is_final=*/true);
+  // The final schema always checkpoints (regardless of checkpoint_every), so
+  // a restart after Finish still serves the post-processed snapshot.
+  if (!durability_.state_path.empty()) {
+    util::Status checkpointed = CheckpointInLane();
+    if (!checkpointed.ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (status_.ok()) status_ = checkpointed;
+    }
+  }
 }
 
 std::shared_ptr<SchemaSnapshot> Session::RenderSnapshot(bool is_final) const {
@@ -140,17 +212,43 @@ void Session::Publish(bool is_final) {
       core::DiffSchemas(prev_schema_, hive_->schema(), graph_->vocab());
   prev_schema_ = hive_->schema();
   diff.batch = snapshot->batches;
+  // versions_published_ is only ever advanced from lane jobs, which the
+  // queue serializes, so reading it here without the mutex is ordered; the
+  // mutex below still guards the cross-thread readers.
+  const uint64_t version = versions_published_ + 1;
+  diff.version_from = version - 1;
+  diff.version_to = version;
+  std::string record = core::SerializeSchemaDiffBinary(diff);
+  // Spill to the segment file *before* the version becomes visible: once a
+  // subscriber can name this version, the file must already cover it — that
+  // invariant is what lets WaitForDiffs serve pruned versions from disk.
+  AppendFeedRecord(record);
   std::lock_guard<std::mutex> lock(mutex_);
-  snapshot->version = ++versions_published_;
-  diff.version_from = versions_published_ - 1;
-  diff.version_to = versions_published_;
-  feed_records_.push_back(core::SerializeSchemaDiffBinary(diff));
-  while (feed_records_.size() > kMaxFeedBacklog) {
+  versions_published_ = version;
+  snapshot->version = version;
+  feed_records_.push_back(std::move(record));
+  while (feed_records_.size() > durability_.feed_backlog) {
     feed_records_.pop_front();
     ++first_feed_version_;
   }
   snapshot_ = std::move(snapshot);
   feed_cv_.notify_all();
+}
+
+void Session::AppendFeedRecord(const std::string& record) {
+  if (durability_.feed_path.empty()) return;
+  if (!feed_out_.is_open()) {
+    feed_out_.open(durability_.feed_path, std::ios::binary | std::ios::app);
+  }
+  feed_out_.write(record.data(), static_cast<std::streamsize>(record.size()));
+  feed_out_.flush();
+  if (!feed_out_) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (status_.ok()) {
+      status_ = util::Status::IoError("cannot append changefeed segment " +
+                                      durability_.feed_path);
+    }
+  }
 }
 
 std::shared_ptr<const SchemaSnapshot> Session::Snapshot() const {
@@ -212,39 +310,59 @@ util::Status Session::status() const {
   return status_;
 }
 
+util::StatusOr<std::string> Session::BuildStateBytes() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!status_.ok()) return status_;
+  }
+  std::string bytes;
+  bytes.append(kSessionMagic, sizeof(kSessionMagic));
+  util::PutU32(&bytes, kSessionVersion);
+  util::AppendSection(&bytes, kGraphTextSection, pg::SaveGraphText(*graph_));
+  std::string assembler;
+  assembler_->AppendStateTo(&assembler);
+  util::AppendSection(&bytes, kAssemblerSection, assembler);
+  std::ostringstream hive;
+  util::Status saved = hive_->SaveState(hive);
+  if (!saved.ok()) return saved;
+  util::AppendSection(&bytes, kHiveStateSection, hive.str());
+  std::string counters;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Submitted == processed here: this code runs as a lane job, so every
+    // batch submitted before it has already committed, and any submitted
+    // after it will replay against the restored session.
+    util::PutU64(&counters, hive_->batches_processed());
+    util::PutU64(&counters, versions_published_);
+    util::PutU8(&counters, finish_submitted_ ? 1 : 0);
+  }
+  util::AppendSection(&bytes, kCountersSection, counters);
+  return bytes;
+}
+
+util::Status Session::CheckpointInLane() {
+  if (durability_.state_path.empty()) return util::Status::Ok();
+  auto bytes = BuildStateBytes();
+  if (!bytes.ok()) return bytes.status();
+  return AtomicWriteFile(durability_.state_path, *bytes);
+}
+
 util::StatusOr<std::string> Session::SaveState() {
   auto task = std::make_shared<
-      std::packaged_task<util::StatusOr<std::string>()>>([this] {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!status_.ok()) return util::StatusOr<std::string>(status_);
-    }
-    std::string bytes;
-    bytes.append(kSessionMagic, sizeof(kSessionMagic));
-    util::PutU32(&bytes, kSessionVersion);
-    util::AppendSection(&bytes, kGraphTextSection,
-                        pg::SaveGraphText(*graph_));
-    std::string assembler;
-    assembler_->AppendStateTo(&assembler);
-    util::AppendSection(&bytes, kAssemblerSection, assembler);
-    std::ostringstream hive;
-    util::Status saved = hive_->SaveState(hive);
-    if (!saved.ok()) return util::StatusOr<std::string>(saved);
-    util::AppendSection(&bytes, kHiveStateSection, hive.str());
-    std::string counters;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      // Submitted == processed here: this code runs as a lane job, so every
-      // batch submitted before it has already committed, and any submitted
-      // after it will replay against the restored session.
-      util::PutU64(&counters, hive_->batches_processed());
-      util::PutU64(&counters, versions_published_);
-      util::PutU8(&counters, finish_submitted_ ? 1 : 0);
-    }
-    util::AppendSection(&bytes, kCountersSection, counters);
-    return util::StatusOr<std::string>(std::move(bytes));
-  });
+      std::packaged_task<util::StatusOr<std::string>()>>(
+      [this] { return BuildStateBytes(); });
   std::future<util::StatusOr<std::string>> future = task->get_future();
+  if (!queue_->Submit(id_, [task] { (*task)(); })) {
+    return util::Status::FailedPrecondition("service is shutting down");
+  }
+  return future.get();
+}
+
+util::Status Session::WriteCheckpoint() {
+  if (durability_.state_path.empty()) return util::Status::Ok();
+  auto task = std::make_shared<std::packaged_task<util::Status()>>(
+      [this] { return CheckpointInLane(); });
+  std::future<util::Status> future = task->get_future();
   if (!queue_->Submit(id_, [task] { (*task)(); })) {
     return util::Status::FailedPrecondition("service is shutting down");
   }
@@ -253,7 +371,7 @@ util::StatusOr<std::string> Session::SaveState() {
 
 util::StatusOr<std::shared_ptr<Session>> Session::CreateFromState(
     std::string id, const std::string& bytes, util::ThreadPool* pool,
-    JobQueue* queue) {
+    JobQueue* queue, SessionDurability durability) {
   util::ByteReader in(bytes);
   if (!in.Has(sizeof(kSessionMagic)) ||
       bytes.compare(0, sizeof(kSessionMagic), kSessionMagic,
@@ -262,7 +380,10 @@ util::StatusOr<std::shared_ptr<Session>> Session::CreateFromState(
   }
   in.ReadBytes(sizeof(kSessionMagic));
   uint32_t version = in.ReadU32();
-  if (!in.ok() || version != kSessionVersion) {
+  // Forward compatible like the "PGHS" reader: newer writers may only append
+  // optional sections, so any version >= ours restores; unknown section ids
+  // below are skipped.
+  if (!in.ok() || version < kSessionVersion) {
     return util::Status::ParseError(
         "session snapshot: bad header or unsupported version");
   }
@@ -290,8 +411,24 @@ util::StatusOr<std::shared_ptr<Session>> Session::CreateFromState(
   auto options = core::ReadSnapshotOptions(hive_bytes);
   if (!options.ok()) return options.status();
 
-  std::shared_ptr<Session> session(
-      new Session(std::move(id), *options, pool, queue));
+  // Reconcile the feed segment with the snapshot before the session can
+  // publish: drop any torn tail and any versions past the checkpoint's
+  // counter — replaying the uncheckpointed batches re-appends those same
+  // versions, byte-identically, without duplication.
+  if (!durability.feed_path.empty()) {
+    util::ByteReader counters_peek(sections.at(kCountersSection));
+    counters_peek.ReadU64();  // batches
+    uint64_t published = counters_peek.ReadU64();
+    if (!counters_peek.ok()) {
+      return util::Status::ParseError(
+          "session snapshot: corrupt counters section");
+    }
+    util::Status truncated = TruncateFeedFile(durability.feed_path, published);
+    if (!truncated.ok()) return truncated;
+  }
+
+  std::shared_ptr<Session> session(new Session(std::move(id), *options, pool,
+                                               queue, std::move(durability)));
   // Order matters: the hive restore rebuilds the vocabulary first (trivially
   // position-consistent with the empty graph), so the graph-text replay
   // below resolves every label and key to its snapshotted id — the id order
@@ -337,17 +474,52 @@ util::StatusOr<std::string> Session::WaitForDiffs(uint64_t after_version,
     return versions_published_ > after_version || !status_.ok();
   });
   if (!status_.ok()) return status_;
+  std::string out;
   if (versions_published_ > after_version &&
       after_version + 1 < first_feed_version_) {
-    return util::Status::OutOfRange(
-        "changefeed backlog pruned before version " +
-        std::to_string(after_version + 1) +
-        "; refetch the schema and resubscribe from its version");
+    // Older than the in-memory window: serve the gap from the feed segment
+    // file. Safe under mutex_ — every version below first_feed_version_ was
+    // flushed to the file before it became visible, and the file is only
+    // ever appended to while the session lives.
+    auto from_disk = ReadFeedFromDisk(after_version, first_feed_version_);
+    if (!from_disk.ok()) return from_disk.status();
+    out = std::move(*from_disk);
   }
-  std::string out;
   for (size_t i = 0; i < feed_records_.size(); ++i) {
     if (first_feed_version_ + i > after_version) out += feed_records_[i];
   }
+  return out;
+}
+
+util::StatusOr<std::string> Session::ReadFeedFromDisk(
+    uint64_t after_version, uint64_t until_version) const {
+  const util::Status pruned = util::Status::OutOfRange(
+      "changefeed backlog pruned before version " +
+      std::to_string(after_version + 1) +
+      "; refetch the schema and resubscribe from its version");
+  if (durability_.feed_path.empty()) return pruned;
+  std::ifstream in(durability_.feed_path, std::ios::binary);
+  if (!in) return pruned;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return util::Status::IoError("cannot read changefeed segment " +
+                                 durability_.feed_path);
+  }
+  auto records = core::ScanSchemaDiffStream(bytes, nullptr);
+  std::string out;
+  uint64_t expect = after_version + 1;
+  for (const core::SchemaDiffRecord& record : records) {
+    if (record.diff.version_to <= after_version) continue;
+    if (expect >= until_version) break;
+    // The segment is contiguous from version 1 by construction (restore
+    // truncates to a clean prefix, publish appends in order); any gap means
+    // the requested range predates what survived.
+    if (record.diff.version_to != expect) return pruned;
+    out.append(bytes, record.offset, record.length);
+    ++expect;
+  }
+  if (expect < until_version) return pruned;
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -41,6 +42,25 @@ struct ValidationResult {
   std::string report;
 };
 
+/// Daemon-owned durability for one session: where to checkpoint its "PGHD"
+/// snapshot, how often, and where to spill changefeed records evicted from
+/// the in-memory backlog. Default-constructed == fully in-memory (the
+/// pre-durability behavior). Paths are owned by the session: a fresh session
+/// deletes any stale files at them, a restored one reconciles the feed
+/// segment against the snapshot's version counter.
+struct SessionDurability {
+  std::string state_path;  ///< "PGHD" snapshot target; empty = no scheduled
+                           ///< checkpoints.
+  std::string feed_path;   ///< Changefeed segment file (concatenated "PGHF"
+                           ///< records); empty = in-memory backlog only.
+  /// Checkpoint after every N committed batches (and always on Finish);
+  /// 0 = only on WriteCheckpoint() / Finish.
+  uint64_t checkpoint_every = 0;
+  /// Diff records retained in memory; subscribers further behind read the
+  /// segment file (or get OutOfRange when there is none).
+  size_t feed_backlog = 256;
+};
+
 /// One tenant of pghived: a streamed graph, its PgHive pipeline, and the
 /// snapshots published so far. All pipeline mutation happens in jobs on the
 /// session's JobQueue lane (keyed by session id), which serializes them in
@@ -59,7 +79,8 @@ class Session {
   /// serialized through `queue`. Both must outlive the session.
   static util::StatusOr<std::shared_ptr<Session>> Create(
       std::string id, const std::map<std::string, std::string>& option_flags,
-      util::ThreadPool* pool, JobQueue* queue);
+      util::ThreadPool* pool, JobQueue* queue,
+      SessionDurability durability = {});
 
   /// Rebuilds a session from SaveState bytes (the pghived load-state verb):
   /// restores the hive snapshot into a fresh hive (vocabulary first, so the
@@ -69,7 +90,7 @@ class Session {
   /// produces a schema byte-identical to the uninterrupted session's.
   static util::StatusOr<std::shared_ptr<Session>> CreateFromState(
       std::string id, const std::string& bytes, util::ThreadPool* pool,
-      JobQueue* queue);
+      JobQueue* queue, SessionDurability durability = {});
 
   /// Drains this session's lane so no job outlives the object.
   ~Session();
@@ -113,13 +134,20 @@ class Session {
   /// CRC-framed util/binio sections). Restore with CreateFromState.
   util::StatusOr<std::string> SaveState();
 
+  /// Checkpoints the session to its durability state_path now, as a lane job
+  /// (so the bytes always describe a batch boundary), waiting for the write.
+  /// The write is atomic (tmp + rename). No-op Ok without a state_path. The
+  /// SIGTERM drain calls this for every live session.
+  util::Status WriteCheckpoint();
+
   /// Long-polls the session's schema changefeed: returns every buffered
   /// diff record with version_to > after_version, concatenated in version
   /// order (parse with core::ParseSchemaDiffStream), waiting up to
   /// `timeout_ms` for the first new record. An empty string means the
   /// timeout elapsed with no new version. Records are buffered per session
-  /// (bounded backlog); OutOfRange when after_version is older than the
-  /// retained window — refetch the full schema, then resubscribe.
+  /// (bounded backlog); versions older than the in-memory window are served
+  /// from the durability feed segment file when one is configured, and
+  /// OutOfRange otherwise — refetch the full schema, then resubscribe.
   util::StatusOr<std::string> WaitForDiffs(uint64_t after_version,
                                            uint64_t timeout_ms);
 
@@ -132,18 +160,35 @@ class Session {
 
  private:
   Session(std::string id, core::PgHiveOptions options, util::ThreadPool* pool,
-          JobQueue* queue);
+          JobQueue* queue, SessionDurability durability);
 
   void IngestJob(const std::string& payload);
   void FinishJob();
   /// Materializes every schema rendering from live state. Lane jobs only.
   std::shared_ptr<SchemaSnapshot> RenderSnapshot(bool is_final) const;
-  /// Renders and swaps in a new snapshot, appending its changefeed record.
-  /// Lane jobs only.
+  /// Renders and swaps in a new snapshot, appending its changefeed record
+  /// (spilled to the feed segment file *before* the version becomes visible,
+  /// so the file always covers every published version). Lane jobs only.
   void Publish(bool is_final);
+  /// Serializes the full session snapshot bytes. Lane jobs only.
+  util::StatusOr<std::string> BuildStateBytes();
+  /// Atomic (tmp + rename) checkpoint to durability_.state_path; Ok when no
+  /// path is configured. Lane jobs only.
+  util::Status CheckpointInLane();
+  /// Appends one serialized diff record to the feed segment file and
+  /// flushes; a write failure poisons the session (durability was promised).
+  /// Lane jobs only.
+  void AppendFeedRecord(const std::string& record);
+  /// Reads versions in (after_version, until_version) from the feed segment
+  /// file, verifying the range is covered contiguously; OutOfRange when it
+  /// is not (or no file is configured). Called under mutex_ — safe because
+  /// every version below until_version was flushed before it became visible.
+  util::StatusOr<std::string> ReadFeedFromDisk(uint64_t after_version,
+                                               uint64_t until_version) const;
 
   const std::string id_;
   const core::PgHiveOptions options_;
+  const SessionDurability durability_;
   JobQueue* queue_;
 
   // Owned pipeline state; lane jobs only.
@@ -153,6 +198,8 @@ class Session {
   /// The schema as of the last published version; lane jobs only. Publish
   /// diffs the fresh schema against this to produce the changefeed record.
   core::SchemaGraph prev_schema_;
+  /// Appender for durability_.feed_path (lazily opened); lane jobs only.
+  std::ofstream feed_out_;
 
   mutable std::mutex mutex_;
   std::condition_variable feed_cv_;

@@ -21,6 +21,15 @@ class SessionManager {
  public:
   struct Options {
     size_t max_sessions = 64;  ///< Eviction backstop for runaway clients.
+    /// Directory for daemon-owned durability: every session checkpoints its
+    /// "PGHD" snapshot to <dir>/<id>.pghd and spills evicted changefeed
+    /// records to <dir>/<id>.feed. Empty = fully in-memory sessions.
+    std::string checkpoint_dir;
+    /// Batches between scheduled checkpoints (Finish always checkpoints).
+    uint64_t checkpoint_every = 1;
+    /// Per-session in-memory changefeed window (tests shrink it to force
+    /// the segment-file path).
+    size_t feed_backlog = 256;
   };
 
   /// `pool` may be null (inline jobs — the serial path) and must outlive
@@ -50,16 +59,34 @@ class SessionManager {
   /// NotFound if absent (or already closed).
   util::StatusOr<std::shared_ptr<Session>> Lookup(const std::string& id) const;
 
-  /// Removes the session and waits for its queued jobs to finish.
+  /// Removes the session, waits for its queued jobs to finish, and deletes
+  /// its checkpoint and feed-segment files — an explicit close means the
+  /// client is done with the session's history.
   util::Status Close(const std::string& id);
 
   /// Waits for every session's queued jobs (graceful-shutdown path).
   void DrainAll();
 
+  /// Restores every <id>.pghd snapshot found in checkpoint_dir (creating
+  /// the directory if absent) under its original id, so a restarted daemon
+  /// serves get-schema and subscribe-changefeed with no client load-state.
+  /// Fresh ids continue past every id seen on disk. Fails loudly on the
+  /// first unreadable or corrupt snapshot — silently dropping a tenant's
+  /// state is worse than refusing to start. No-op without a checkpoint_dir.
+  util::Status RestoreFromCheckpointDir();
+
+  /// Checkpoints every live session (the SIGTERM drain path). Returns the
+  /// first failure but attempts all. No-op without a checkpoint_dir.
+  util::Status CheckpointAll();
+
   size_t num_sessions() const;
   JobQueue& queue() { return queue_; }
 
  private:
+  /// The durability config for one session id under checkpoint_dir (empty
+  /// config when durability is off).
+  SessionDurability DurabilityFor(const std::string& id) const;
+
   const Options options_;
   util::ThreadPool* pool_;
   JobQueue queue_;

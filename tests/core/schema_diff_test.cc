@@ -242,5 +242,147 @@ TEST_F(SchemaDiffTest, DescribeRendersHeaderAndDeltaLines) {
   EXPECT_NE(text.find("KNOWS"), std::string::npos);
 }
 
+// --- ScanSchemaDiffStream: the recovery-oriented reader behind feed-segment
+// reconciliation and `pghive drift --feed`. ---
+
+TEST_F(SchemaDiffTest, ScanRecoversCleanPrefixOfTornStream) {
+  std::string record =
+      SerializeSchemaDiffBinary(SampleDiff(vocab_, person_, knows_, age_));
+  std::string stream = record + record + record.substr(0, record.size() / 2);
+
+  size_t valid_prefix = 0;
+  auto records = ScanSchemaDiffStream(stream, &valid_prefix);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(valid_prefix, 2 * record.size());
+  EXPECT_EQ(records[0].offset, 0u);
+  EXPECT_EQ(records[0].length, record.size());
+  EXPECT_EQ(records[1].offset, record.size());
+  EXPECT_EQ(records[1].length, record.size());
+  for (const SchemaDiffRecord& back : records) {
+    EXPECT_EQ(back.diff.version_to, 4u);
+    ASSERT_EQ(back.diff.node_deltas.size(), 1u);
+    EXPECT_EQ(back.diff.node_deltas[0].name, "Person");
+  }
+
+  // A clean stream scans whole; an empty one scans to nothing, not an error.
+  auto whole = ScanSchemaDiffStream(record + record, &valid_prefix);
+  EXPECT_EQ(whole.size(), 2u);
+  EXPECT_EQ(valid_prefix, 2 * record.size());
+  EXPECT_TRUE(ScanSchemaDiffStream("", &valid_prefix).empty());
+  EXPECT_EQ(valid_prefix, 0u);
+}
+
+TEST_F(SchemaDiffTest, ScanStopsAtCorruptRecordNotBefore) {
+  std::string record =
+      SerializeSchemaDiffBinary(SampleDiff(vocab_, person_, knows_, age_));
+  std::string corrupt = record;
+  corrupt[corrupt.size() / 2] =
+      static_cast<char>(corrupt[corrupt.size() / 2] ^ 0x20);
+  std::string stream = record + corrupt + record;
+
+  // A flipped bit inside record 2 must not poison record 1, and scanning
+  // never resynchronizes past garbage: everything after the tear is dropped.
+  size_t valid_prefix = 0;
+  auto records = ScanSchemaDiffStream(stream, &valid_prefix);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(valid_prefix, record.size());
+}
+
+// --- Drift alerts over a changefeed record. ---
+
+TEST_F(SchemaDiffTest, CardinalityWideningLattice) {
+  using CK = CardinalityKind;
+  // Reflexive, and everything widens from kUnknown or to kManyToMany.
+  for (CK kind : {CK::kUnknown, CK::kOneToOne, CK::kOneToMany, CK::kManyToOne,
+                  CK::kManyToMany}) {
+    EXPECT_TRUE(IsCardinalityWidening(kind, kind));
+    EXPECT_TRUE(IsCardinalityWidening(CK::kUnknown, kind));
+    EXPECT_TRUE(IsCardinalityWidening(kind, CK::kManyToMany));
+  }
+  EXPECT_TRUE(IsCardinalityWidening(CK::kOneToOne, CK::kManyToOne));
+  EXPECT_TRUE(IsCardinalityWidening(CK::kOneToOne, CK::kOneToMany));
+
+  // Narrowing or sideways moves — only reachable through decay/removal —
+  // are the flips the drift monitor exists to flag.
+  EXPECT_FALSE(IsCardinalityWidening(CK::kManyToMany, CK::kOneToMany));
+  EXPECT_FALSE(IsCardinalityWidening(CK::kManyToOne, CK::kOneToMany));
+  EXPECT_FALSE(IsCardinalityWidening(CK::kOneToMany, CK::kOneToOne));
+  EXPECT_FALSE(IsCardinalityWidening(CK::kManyToOne, CK::kUnknown));
+}
+
+TEST_F(SchemaDiffTest, ScanForDriftFlagsRetypes) {
+  SchemaGraph prev, next;
+  prev.node_types().push_back(MakeNodeType(
+      {person_}, 10,
+      {{age_, Prop(pg::DataType::kInteger, Requiredness::kMandatory)}}));
+  next.node_types().push_back(MakeNodeType(
+      {person_}, 12,
+      {{age_, Prop(pg::DataType::kString, Requiredness::kMandatory)}}));
+  SchemaDiff diff = DiffSchemas(prev, next, vocab_);
+  diff.version_to = 7;
+
+  auto alerts = ScanForDrift(diff);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, DriftAlert::Kind::kPropertyRetype);
+  EXPECT_FALSE(alerts[0].is_edge);
+  EXPECT_EQ(alerts[0].version_to, 7u);
+  EXPECT_EQ(alerts[0].type_name, "Person");
+  EXPECT_EQ(alerts[0].key, "age");
+  EXPECT_EQ(alerts[0].old_type, pg::DataType::kInteger);
+  EXPECT_EQ(alerts[0].new_type, pg::DataType::kString);
+
+  std::string text = DescribeDriftAlert(alerts[0]);
+  EXPECT_NE(text.find("Person"), std::string::npos);
+  EXPECT_NE(text.find("age"), std::string::npos);
+  EXPECT_NE(text.find("retyped"), std::string::npos);
+}
+
+TEST_F(SchemaDiffTest, FirstConcreteTypeIsRefinementNotDrift) {
+  // The pipeline resolves datatype statistics at Finish, so the final feed
+  // record retypes every property NULL -> concrete. That is the property
+  // acquiring its first type — the datatype twin of the kUnknown
+  // cardinality rule — and must not read as drift.
+  SchemaGraph prev, next;
+  prev.node_types().push_back(MakeNodeType(
+      {person_}, 10,
+      {{age_, Prop(pg::DataType::kNull, Requiredness::kMandatory)}}));
+  next.node_types().push_back(MakeNodeType(
+      {person_}, 12,
+      {{age_, Prop(pg::DataType::kInteger, Requiredness::kMandatory)}}));
+  SchemaDiff diff = DiffSchemas(prev, next, vocab_);
+  EXPECT_TRUE(ScanForDrift(diff).empty());
+}
+
+TEST_F(SchemaDiffTest, ScanForDriftFlagsOnlyNonWideningCardinalityMoves) {
+  auto DiffWithCardinality = [&](CardinalityKind from, CardinalityKind to) {
+    SchemaGraph prev, next;
+    prev.edge_types().push_back(MakeEdgeType({knows_}, 4, from));
+    next.edge_types().push_back(MakeEdgeType({knows_}, 6, to));
+    return DiffSchemas(prev, next, vocab_);
+  };
+
+  // The normal accumulation direction never alerts: observations can only
+  // widen a cardinality, so widening is signal-free.
+  EXPECT_TRUE(ScanForDrift(DiffWithCardinality(CardinalityKind::kUnknown,
+                                               CardinalityKind::kManyToOne))
+                  .empty());
+  EXPECT_TRUE(ScanForDrift(DiffWithCardinality(CardinalityKind::kOneToOne,
+                                               CardinalityKind::kManyToMany))
+                  .empty());
+
+  // A narrowing move means decay/removal rewrote history: that is drift.
+  auto alerts = ScanForDrift(DiffWithCardinality(CardinalityKind::kManyToMany,
+                                                 CardinalityKind::kOneToMany));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, DriftAlert::Kind::kCardinalityFlip);
+  EXPECT_TRUE(alerts[0].is_edge);
+  EXPECT_EQ(alerts[0].type_name, "KNOWS");
+  EXPECT_EQ(alerts[0].old_cardinality, CardinalityKind::kManyToMany);
+  EXPECT_EQ(alerts[0].new_cardinality, CardinalityKind::kOneToMany);
+  std::string text = DescribeDriftAlert(alerts[0]);
+  EXPECT_NE(text.find("KNOWS"), std::string::npos);
+  EXPECT_NE(text.find("cardinality"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace pghive::core

@@ -18,6 +18,7 @@
 #include "datasets/generator.h"
 #include "datasets/zoo.h"
 #include "pg/batch.h"
+#include "util/binio.h"
 
 namespace pghive::core {
 namespace {
@@ -206,10 +207,14 @@ TEST(StateSnapshotTest, TruncationAtEveryOffsetIsRejected) {
 TEST(StateSnapshotTest, SeededBitFlipsAreRejected) {
   CheckpointedRun run = RunWithCheckpoint(BaseOptions(), 3, 2);
   // Deterministic LCG walk over (offset, bit) pairs: no flip may restore.
+  // The u32 version word (offsets 4..7) is exempt: raising it is valid by
+  // the forward-compat policy (NewerVersionWithAppendedSectionRestores), so
+  // a bit flip there is indistinguishable from a newer writer.
   uint64_t state = 0x9e3779b97f4a7c15ull;
   for (int trial = 0; trial < 64; ++trial) {
     state = state * 6364136223846793005ull + 1442695040888963407ull;
     size_t offset = static_cast<size_t>((state >> 16) % run.snapshot.size());
+    if (offset >= 4 && offset < 8) continue;
     int bit = static_cast<int>((state >> 8) % 8);
     std::string corrupt = run.snapshot;
     corrupt[offset] = static_cast<char>(corrupt[offset] ^ (1 << bit));
@@ -219,6 +224,30 @@ TEST(StateSnapshotTest, SeededBitFlipsAreRejected) {
     EXPECT_FALSE(hive.RestoreState(source).ok())
         << "offset " << offset << " bit " << bit;
   }
+}
+
+TEST(StateSnapshotTest, NewerVersionWithAppendedSectionRestores) {
+  PgHiveOptions options = BaseOptions();
+  CheckpointedRun run = RunWithCheckpoint(options, /*num_batches=*/3,
+                                          /*checkpoint_at=*/2);
+  ASSERT_FALSE(run.snapshot.empty());
+
+  // The compat policy: a newer writer may only *append* optional sections.
+  // Simulate one by bumping the u32 version word (little-endian, offset 4)
+  // and appending a CRC-framed section with an id this reader has never
+  // heard of — today's binary must still open it and resume identically.
+  std::string future = run.snapshot;
+  future[4] = 2;
+  util::AppendSection(&future, /*id=*/999, "optional payload from v2");
+  EXPECT_EQ(ResumeAndFinish(future, options, 3), run.final_schema);
+
+  // Versions below ours are malformed, not futuristic.
+  std::string ancient = run.snapshot;
+  ancient[4] = 0;
+  datasets::Dataset dataset = MakeDataset();
+  PgHive hive(&dataset.graph, options);
+  std::istringstream source(ancient);
+  EXPECT_FALSE(hive.RestoreState(source).ok());
 }
 
 TEST(StateSnapshotTest, HostileSectionLengthIsClampedNotAllocated) {

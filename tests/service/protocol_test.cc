@@ -301,6 +301,39 @@ TEST_F(HandlerTest, SaveAndLoadStateRoundTripOverTheHandler) {
       RunRestarted("load-state " + path + ".does-not-exist", "").status.ok());
 }
 
+TEST_F(HandlerTest, SessionInfoReportsBatchesForResume) {
+  pg::PropertyGraph g;
+  auto a = g.AddNode({"Person"});
+  g.SetNodeProperty(a, "name", pg::Value("Ann"));
+  auto b = g.AddNode({"Person"});
+  g.SetNodeProperty(b, "name", pg::Value("Bo"));
+  g.AddEdge(a, b, {"KNOWS"});
+  auto payloads = BuildIngestPayloads(g, /*num_batches=*/2);
+
+  Response created = Run("create-session");
+  ASSERT_TRUE(created.status.ok());
+  const std::string id = SessionIdOf(created);
+
+  // Mirrors the load-state reply shape so resuming clients parse one form.
+  Response empty = Run("session-info " + id);
+  ASSERT_TRUE(empty.status.ok()) << empty.status.ToString();
+  EXPECT_EQ(empty.info, "session " + id + " batches 0");
+
+  ASSERT_TRUE(Run("ingest-batch " + id + " " +
+                      std::to_string(payloads[0].size()),
+                  payloads[0])
+                  .status.ok());
+  Response one = Run("session-info " + id);
+  ASSERT_TRUE(one.status.ok());
+  EXPECT_EQ(one.info, "session " + id + " batches 1");
+
+  Response missing = Run("session-info nosuch");
+  ASSERT_FALSE(missing.status.ok());
+  EXPECT_EQ(missing.status.code(), util::StatusCode::kNotFound);
+  EXPECT_FALSE(Run("session-info").status.ok());
+  EXPECT_FALSE(Run("session-info " + id + " extra").status.ok());
+}
+
 TEST_F(HandlerTest, SubscribeChangefeedReturnsParseableRecords) {
   pg::PropertyGraph g;
   auto a = g.AddNode({"Person"});

@@ -16,6 +16,7 @@
 #include "service/client.h"
 #include "service/session.h"
 #include "service/session_manager.h"
+#include "util/binio.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -215,6 +216,44 @@ TEST(SessionStateTest, ChangefeedDeliversDiffsInVersionOrder) {
   ASSERT_TRUE(final_records.ok());
   ASSERT_EQ(final_records->size(), 1u);
   EXPECT_EQ((*final_records)[0].version_to, 3u);
+}
+
+TEST(SessionStateTest, NewerVersionWithAppendedSectionRestores) {
+  // Same forward-compat policy as the "PGHS" hive snapshot: a newer "PGHD"
+  // writer may only append optional sections, so a bumped u32 version word
+  // (little-endian, offset 4) plus an unknown trailing section must restore
+  // on today's binary and resume byte-identically.
+  const size_t batches = 3;
+  const std::string expected = UninterruptedSessionPgs(batches);
+  pg::PropertyGraph graph = SocialGraph();
+  auto payloads = BuildIngestPayloads(graph, batches);
+
+  SessionManager saver(nullptr);
+  auto session = saver.CreateSession({});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->SubmitIngest(payloads[0]).ok());
+  auto bytes = (*session)->SaveState();
+  ASSERT_TRUE(bytes.ok());
+
+  std::string future = *bytes;
+  future[4] = 2;
+  util::AppendSection(&future, /*id=*/999, "optional payload from v2");
+
+  SessionManager restorer(nullptr);
+  auto restored = restorer.CreateSessionFromState(future);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ((*restored)->batches_ingested(), 1u);
+  for (size_t i = 1; i < batches; ++i) {
+    ASSERT_TRUE((*restored)->SubmitIngest(payloads[i]).ok());
+  }
+  auto final_snapshot = (*restored)->FinalSnapshot();
+  ASSERT_TRUE(final_snapshot.ok()) << final_snapshot.status().ToString();
+  EXPECT_EQ((*final_snapshot)->pgs_strict, expected);
+
+  // Versions below ours are malformed, not futuristic.
+  std::string ancient = *bytes;
+  ancient[4] = 0;
+  EXPECT_FALSE(restorer.CreateSessionFromState(ancient).ok());
 }
 
 TEST(SessionStateTest, RestoredSessionPrunesOldFeedWindow) {

@@ -33,7 +33,8 @@
 //       Validates a graph against a PG-Schema file.
 //   client    --graph FILE (--port N | --port-file FILE) [--batches N]
 //             [--out PREFIX] [--loose] [--stop-after K] [--save-state PATH]
-//             [--load-state PATH] [discover knobs]
+//             [--load-state PATH] [--session ID] [--changefeed-out FILE]
+//             [discover knobs]
 //       Streams a graph file into a running pghived daemon batch by batch
 //       and fetches the discovered schema over the wire; with --out also
 //       writes PREFIX.pgs and PREFIX.xsd. Discovery knobs (--method,
@@ -43,7 +44,19 @@
 //       --stop-after K streams only the first K batches; --save-state asks
 //       the server to serialize the session to a server-side file, and
 //       --load-state resumes from one (skipping the batches it holds) — the
-//       CI crash smoke SIGKILLs pghived between the two.
+//       CI crash smoke SIGKILLs pghived between the two. --session ID
+//       resumes an EXISTING session instead (one the daemon restored from
+//       its --checkpoint-dir after a SIGTERM): the client asks session-info
+//       for the batch count and streams the rest, no state file involved.
+//       --changefeed-out FILE writes the session's full changefeed (from
+//       version 1, served from the daemon's feed segments when older than
+//       the in-memory backlog) as raw binary records.
+//   drift     (--feed FILE | (--port N | --port-file FILE) --session ID)
+//             [--from V] [--timeout-ms T] [--fail-on-alert]
+//       Scans a changefeed — a segment/--changefeed file or a live pghived
+//       session — and flags schema drift: property retypes and cardinality
+//       flips (non-widening transitions, only reachable via instance
+//       decay/removal). --fail-on-alert exits 1 when anything was flagged.
 //
 // Exit code 0 on success (and, for validate, on conformance), 1 otherwise.
 
@@ -377,28 +390,43 @@ int CmdGenerate(const Args& args) {
   return 0;
 }
 
+/// Resolves --port / --port-file into a port number; 0 when neither flag is
+/// present (the caller decides whether that is an error).
+util::StatusOr<uint16_t> ResolvePort(const Args& args) {
+  if (args.Has("port-file")) {
+    std::ifstream in(args.Get("port-file"));
+    if (!in) {
+      return util::Status::IoError("cannot open " + args.Get("port-file"));
+    }
+    std::string text;
+    in >> text;
+    auto parsed = util::ParseInt64InRange(text, 1, 65535, "port file");
+    if (!parsed.ok()) return parsed.status();
+    return static_cast<uint16_t>(*parsed);
+  }
+  if (args.Has("port")) {
+    auto parsed = util::ParseInt64InRange(args.Get("port"), 1, 65535,
+                                          "--port");
+    if (!parsed.ok()) return parsed.status();
+    return static_cast<uint16_t>(*parsed);
+  }
+  return static_cast<uint16_t>(0);
+}
+
 /// Streams a graph into a running pghived, batch by batch, and fetches the
 /// final schema — the wire-borne twin of CmdDiscover. The discovered schema
 /// is byte-identical to a local `pghive discover` run with the same knobs
 /// (pinned by the service e2e tests and the CI smoke step).
 int CmdClient(const Args& args) {
   if (!args.Has("graph")) return Fail("client needs --graph FILE");
-  uint16_t port = 0;
-  if (args.Has("port-file")) {
-    std::ifstream in(args.Get("port-file"));
-    if (!in) return Fail("cannot open " + args.Get("port-file"));
-    std::string text;
-    in >> text;
-    auto parsed = util::ParseInt64InRange(text, 1, 65535, "port file");
-    if (!parsed.ok()) return Fail(parsed.status().ToString());
-    port = static_cast<uint16_t>(*parsed);
-  } else if (args.Has("port")) {
-    auto parsed = util::ParseInt64InRange(args.Get("port"), 1, 65535,
-                                          "--port");
-    if (!parsed.ok()) return Fail(parsed.status().ToString());
-    port = static_cast<uint16_t>(*parsed);
-  } else {
-    return Fail("client needs --port N or --port-file FILE");
+  auto resolved_port = ResolvePort(args);
+  if (!resolved_port.ok()) return Fail(resolved_port.status().ToString());
+  uint16_t port = *resolved_port;
+  if (port == 0) return Fail("client needs --port N or --port-file FILE");
+  if (args.Has("load-state") && args.Has("session")) {
+    return Fail("--load-state and --session are exclusive: one restores a "
+                "state file, the other resumes a live (daemon-restored) "
+                "session");
   }
   auto num_batches = util::ParseInt64InRange(args.Get("batches", "1"), 1,
                                              1000000, "--batches");
@@ -427,6 +455,20 @@ int CmdClient(const Args& args) {
                   std::to_string(payloads.size()));
     }
     std::printf("restored session %s with %zu batches\n", session.c_str(),
+                skip);
+  } else if (args.Has("session")) {
+    // Resume a session the daemon itself restored from --checkpoint-dir:
+    // ask how many batches it already holds and stream the remainder.
+    auto info = client->SessionInfo(args.Get("session"));
+    if (!info.ok()) return Fail(info.status().ToString());
+    session = info->id;
+    skip = static_cast<size_t>(info->batches);
+    if (skip > payloads.size()) {
+      return Fail("session " + session + " already holds " +
+                  std::to_string(skip) + " batches but --batches only yields " +
+                  std::to_string(payloads.size()));
+    }
+    std::printf("resuming session %s with %zu batches\n", session.c_str(),
                 skip);
   } else {
     auto created = client->CreateSession(DiscoveryKnobs(args));
@@ -486,6 +528,21 @@ int CmdClient(const Args& args) {
     if (!pgs_out || !xsd_out) return Fail("cannot write " + prefix + ".*");
     std::printf("wrote %s.pgs and %s.xsd\n", prefix.c_str(), prefix.c_str());
   }
+  if (args.Has("changefeed-out")) {
+    // The full history from version 1. With --checkpoint-dir on the daemon
+    // this reaches past the in-memory backlog into the feed segment files;
+    // the bytes are the same concatenated records `discover --changefeed`
+    // writes, so the two files byte-compare.
+    auto feed = client->SubscribeChangefeed(session, /*after_version=*/0,
+                                            /*timeout_ms=*/0);
+    if (!feed.ok()) return Fail(feed.status().ToString());
+    const std::string path = args.Get("changefeed-out");
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << *feed;
+    if (!out) return Fail("cannot write " + path);
+    std::printf("wrote changefeed to %s (%zu bytes)\n", path.c_str(),
+                feed->size());
+  }
   util::Status closed = client->CloseSession(session);
   if (!closed.ok()) return Fail(closed.ToString());
   return 0;
@@ -504,6 +561,74 @@ int CmdChangefeed(const Args& args) {
     std::printf("%s", core::DescribeSchemaDiff(diff).c_str());
   }
   std::printf("%zu changefeed records\n", records->size());
+  return 0;
+}
+
+/// Scans a changefeed for schema drift — property retypes and cardinality
+/// flips — from a feed file (tolerant of a torn tail, as segment files of a
+/// crashed daemon can have one) or a live pghived session (catch-up scan:
+/// polls subscribe-changefeed until the feed has no newer version).
+int CmdDrift(const Args& args) {
+  std::vector<core::SchemaDiff> records;
+  if (args.Has("feed")) {
+    std::ifstream in(args.Get("feed"), std::ios::binary);
+    if (!in) return Fail("cannot open " + args.Get("feed"));
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    size_t valid_prefix = 0;
+    for (core::SchemaDiffRecord& record :
+         core::ScanSchemaDiffStream(bytes, &valid_prefix)) {
+      records.push_back(std::move(record.diff));
+    }
+    if (valid_prefix < bytes.size()) {
+      std::fprintf(stderr,
+                   "pghive: warning: ignoring %zu trailing bytes of %s "
+                   "(torn or corrupt record)\n",
+                   bytes.size() - valid_prefix, args.Get("feed").c_str());
+    }
+  } else if (args.Has("session")) {
+    auto resolved_port = ResolvePort(args);
+    if (!resolved_port.ok()) return Fail(resolved_port.status().ToString());
+    if (*resolved_port == 0) {
+      return Fail("drift --session needs --port N or --port-file FILE");
+    }
+    auto client = service::PghivedClient::Connect(*resolved_port);
+    if (!client.ok()) return Fail(client.status().ToString());
+    auto from = util::ParseInt64InRange(args.Get("from", "0"), 0,
+                                        std::numeric_limits<int64_t>::max(),
+                                        "--from");
+    if (!from.ok()) return Fail(from.status().ToString());
+    auto timeout_ms = util::ParseInt64InRange(args.Get("timeout-ms", "0"), 0,
+                                              3600000, "--timeout-ms");
+    if (!timeout_ms.ok()) return Fail(timeout_ms.status().ToString());
+    uint64_t after = static_cast<uint64_t>(*from);
+    for (;;) {
+      auto feed = client->SubscribeChangefeed(
+          args.Get("session"), after, static_cast<uint64_t>(*timeout_ms));
+      if (!feed.ok()) return Fail(feed.status().ToString());
+      if (feed->empty()) break;  // Caught up.
+      auto parsed = core::ParseSchemaDiffStream(*feed);
+      if (!parsed.ok()) return Fail(parsed.status().ToString());
+      for (core::SchemaDiff& diff : *parsed) {
+        after = std::max(after, diff.version_to);
+        records.push_back(std::move(diff));
+      }
+    }
+  } else {
+    return Fail("drift needs --feed FILE, or --session ID with --port/"
+                "--port-file");
+  }
+
+  size_t alert_count = 0;
+  for (const core::SchemaDiff& diff : records) {
+    for (const core::DriftAlert& alert : core::ScanForDrift(diff)) {
+      std::printf("!! %s\n", core::DescribeDriftAlert(alert).c_str());
+      ++alert_count;
+    }
+  }
+  std::printf("%zu drift alerts in %zu changefeed records\n", alert_count,
+              records.size());
+  if (args.Has("fail-on-alert") && alert_count > 0) return 1;
   return 0;
 }
 
@@ -548,9 +673,10 @@ int main(int argc, char** argv) {
   if (args.command == "validate") return CmdValidate(args);
   if (args.command == "client") return CmdClient(args);
   if (args.command == "changefeed") return CmdChangefeed(args);
+  if (args.command == "drift") return CmdDrift(args);
   std::fprintf(stderr,
                "usage: pghive"
-               " <discover|import|generate|validate|client|changefeed>"
+               " <discover|import|generate|validate|client|changefeed|drift>"
                " [options]\n"
                "  discover --graph FILE [--method elsh|minhash] [--batches N]"
                " [--out PREFIX] [--loose] [--threads N] [--pipeline-depth D]"
@@ -562,7 +688,11 @@ int main(int argc, char** argv) {
                "  validate --graph g.pg --schema s.pgs [--strict]\n"
                "  client   --graph FILE (--port N | --port-file FILE)"
                " [--batches N] [--out PREFIX] [--loose] [--stop-after K]"
-               " [--save-state PATH] [--load-state PATH] [discover knobs]\n"
-               "  changefeed --feed FILE\n");
+               " [--save-state PATH] [--load-state PATH] [--session ID]"
+               " [--changefeed-out FILE] [discover knobs]\n"
+               "  changefeed --feed FILE\n"
+               "  drift    (--feed FILE | (--port N | --port-file FILE)"
+               " --session ID) [--from V] [--timeout-ms T]"
+               " [--fail-on-alert]\n");
   return args.command.empty() ? 1 : 1;
 }

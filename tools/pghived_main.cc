@@ -1,6 +1,7 @@
 // pghived — the PG-HIVE schema-discovery daemon.
 //
 //   pghived [--port N] [--port-file PATH] [--threads N] [--max-sessions N]
+//           [--checkpoint-dir DIR] [--checkpoint-every N]
 //
 // Listens on 127.0.0.1 (port 0 picks an ephemeral port, written to
 // --port-file so scripts can find it) and serves the line protocol described
@@ -8,6 +9,13 @@
 // shared thread pool; SIGINT/SIGTERM trigger a graceful shutdown that stops
 // accepting, finishes in-flight requests, and drains every session's queued
 // jobs before exiting.
+//
+// With --checkpoint-dir the daemon is durable on its own authority: every
+// session checkpoints to DIR after every --checkpoint-every ingested batches
+// (default 1) and once more during the SIGTERM drain, changefeed records
+// evicted from the in-memory backlog spill to per-session segment files in
+// DIR, and a restarted daemon restores every snapshot it finds there — no
+// client save-state/load-state required.
 
 #include <chrono>
 #include <csignal>
@@ -52,7 +60,11 @@ int main(int argc, char** argv) {
     } else {
       return Fail("--" + key + " needs a value");
     }
-    options[key] = value;
+    // A repeated flag is a typo or a mangled service file, and for a daemon
+    // silently taking one of the two values is worse than refusing to start.
+    if (!options.emplace(key, value).second) {
+      return Fail("duplicate option --" + key);
+    }
   }
 
   pghive::service::PghivedServer::Options server_options;
@@ -74,10 +86,27 @@ int main(int argc, char** argv) {
                                                  "--max-sessions");
       if (!max.ok()) return Fail(max.status().ToString());
       server_options.max_sessions = static_cast<size_t>(*max);
+    } else if (key == "checkpoint-dir") {
+      if (value.empty()) return Fail("--checkpoint-dir needs a directory");
+      server_options.checkpoint_dir = value;
+    } else if (key == "checkpoint-every") {
+      auto every = pghive::util::ParseInt64InRange(value, 1, 1000000,
+                                                   "--checkpoint-every");
+      if (!every.ok()) return Fail(every.status().ToString());
+      server_options.checkpoint_every = static_cast<uint64_t>(*every);
     } else {
       return Fail("unknown option --" + key);
     }
   }
+  if (options.count("checkpoint-every") && !options.count("checkpoint-dir")) {
+    return Fail("--checkpoint-every requires --checkpoint-dir");
+  }
+
+  // Handlers must be installed before Start(): once the daemon is reachable
+  // (listening, port file written) a SIGTERM must always drain and
+  // checkpoint, never take the default die-without-drain disposition.
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
 
   pghive::service::PghivedServer server(server_options);
   auto status = server.Start();
@@ -91,8 +120,6 @@ int main(int argc, char** argv) {
     if (!out) return Fail("cannot write " + port_file);
   }
 
-  std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
